@@ -1,0 +1,101 @@
+"""Ablation: comparator choice and the stability claim behind the methodology.
+
+Not a table in the paper, but the design choice it argues for in Sections I
+and III: reducing noisy distributions to a single number (mean / median /
+minimum) produces rankings that flip between measurement rounds, whereas the
+three-way clustering merges statistically indistinguishable algorithms and
+stays stable.  This bench quantifies that on the Table I workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    MannWhitneyComparator,
+    RelativePerformanceAnalyzer,
+    SingleStatisticRanker,
+    stability_across_rounds,
+)
+from repro.devices import SimulatedExecutor, cpu_gpu_platform
+from repro.experiments import default_analyzer
+from repro.measurement.noise import default_system_noise
+from repro.offload import enumerate_algorithms, measure_algorithms
+from repro.reporting import format_table
+from repro.tasks import table1_chain
+
+
+def _measurement_rounds(n_rounds: int, n_measurements: int = 30):
+    platform = cpu_gpu_platform()
+    chain = table1_chain(loop_size=10)
+    algorithms = enumerate_algorithms(chain, platform)
+    rounds = []
+    for seed in range(n_rounds):
+        executor = SimulatedExecutor(platform, noise=default_system_noise(1.5), seed=seed)
+        rounds.append(measure_algorithms(algorithms, executor, repetitions=n_measurements))
+    return rounds
+
+
+def test_ablation_clustering_is_more_stable_than_single_statistics(benchmark, bench_once):
+    """Re-measure the Table I workload several times and compare ranking stability."""
+
+    def evaluate():
+        rounds = _measurement_rounds(n_rounds=5)
+        strategies: dict[str, list[dict[str, int]]] = {"relative-performance": [], "mean": [], "median": [], "min": []}
+        for measurements in rounds:
+            analyzer = default_analyzer(seed=0, repetitions=40, n_measurements=30)
+            analysis = analyzer.analyze(measurements)
+            strategies["relative-performance"].append(
+                {label: analysis.cluster_of(label) for label in measurements.labels}
+            )
+            for stat in ("mean", "median", "min"):
+                ranking = SingleStatisticRanker(stat).rank(measurements.as_dict())
+                strategies[stat].append(dict(ranking.ranks))
+        return {name: stability_across_rounds(rounds_) for name, rounds_ in strategies.items()}
+
+    reports = bench_once(benchmark, evaluate)
+
+    rows = [
+        (name, f"{r.mean_order_agreement:.3f}", f"{r.mean_partition_agreement:.3f}", f"{r.best_class_consistency:.3f}")
+        for name, r in reports.items()
+    ]
+    print("\nAblation: stability of the ranking strategies across 5 re-measurement rounds")
+    print(format_table(("strategy", "order agreement", "partition agreement", "best-class consistency"), rows))
+
+    relative = reports["relative-performance"]
+    for baseline in ("mean", "median", "min"):
+        assert relative.best_class_consistency >= reports[baseline].best_class_consistency
+    assert relative.mean_partition_agreement >= 0.7
+
+
+def test_ablation_comparator_choice_preserves_the_headline_result(benchmark, bench_once):
+    """DDA stays in the best class and AAD in the worst regardless of the comparator family."""
+
+    def evaluate():
+        platform = cpu_gpu_platform()
+        chain = table1_chain(loop_size=10)
+        algorithms = enumerate_algorithms(chain, platform)
+        executor = SimulatedExecutor(platform, seed=0)
+        measurements = measure_algorithms(algorithms, executor, repetitions=30)
+        comparators = {
+            "bootstrap": default_analyzer(seed=0, repetitions=40, n_measurements=30).comparator,
+            "mann-whitney": MannWhitneyComparator(alpha=0.05),
+        }
+        outcomes = {}
+        for name, comparator in comparators.items():
+            analyzer = RelativePerformanceAnalyzer(comparator=comparator, repetitions=40, seed=0)
+            analysis = analyzer.analyze(measurements)
+            outcomes[name] = {label: analysis.cluster_of(label) for label in measurements.labels}
+        return outcomes
+
+    outcomes = bench_once(benchmark, evaluate)
+    rows = [
+        (name, clusters["DDA"], clusters["DDD"], clusters["AAD"], max(clusters.values()))
+        for name, clusters in outcomes.items()
+    ]
+    print("\nAblation: cluster of DDA / DDD / AAD under different comparator families")
+    print(format_table(("comparator", "C(DDA)", "C(DDD)", "C(AAD)", "#classes"), rows))
+    for clusters in outcomes.values():
+        assert clusters["DDA"] == 1
+        assert clusters["AAD"] == max(clusters.values())
+        assert clusters["DDD"] <= 2

@@ -1,0 +1,63 @@
+"""Ablation: sensitivity of the clustering to the number of measurements N and to noise.
+
+Section III notes that overlaps "become more evident when the number of
+measurements N is small": with few measurements the comparator merges more
+algorithms (fewer, coarser classes); with many measurements or little noise
+the classes sharpen.  This bench sweeps N and the system-noise level on the
+Table I workload and reports the number of performance classes.
+"""
+
+from __future__ import annotations
+
+from repro.devices import SimulatedExecutor, cpu_gpu_platform
+from repro.experiments import default_analyzer
+from repro.measurement.noise import default_system_noise
+from repro.offload import enumerate_algorithms, measure_algorithms
+from repro.reporting import format_table
+from repro.tasks import table1_chain
+
+
+def _cluster_count(n_measurements: int, noise_level: float, seed: int = 0) -> tuple[int, int]:
+    platform = cpu_gpu_platform()
+    chain = table1_chain(loop_size=10)
+    algorithms = enumerate_algorithms(chain, platform)
+    executor = SimulatedExecutor(platform, noise=default_system_noise(noise_level), seed=seed)
+    measurements = measure_algorithms(algorithms, executor, repetitions=n_measurements)
+    analyzer = default_analyzer(seed=seed, repetitions=30, n_measurements=n_measurements)
+    analysis = analyzer.analyze(measurements)
+    return analysis.n_clusters, analysis.cluster_of("DDA")
+
+
+def test_ablation_number_of_measurements(benchmark, bench_once):
+    """More measurements -> finer (or equal) clustering; DDA stays in the best class."""
+    sweep = (10, 30, 100)
+
+    def evaluate():
+        return {n: _cluster_count(n, noise_level=1.0) for n in sweep}
+
+    results = bench_once(benchmark, evaluate)
+    rows = [(n, *results[n]) for n in sweep]
+    print("\nAblation: number of performance classes vs number of measurements N")
+    print(format_table(("N", "#classes", "cluster of DDA"), rows))
+
+    counts = [results[n][0] for n in sweep]
+    assert counts[-1] >= counts[0]
+    assert all(results[n][1] == 1 for n in sweep)
+    assert all(2 <= results[n][0] <= 8 for n in sweep)
+
+
+def test_ablation_noise_level(benchmark, bench_once):
+    """More system noise -> coarser (or equal) clustering at fixed N."""
+    levels = (0.5, 1.0, 3.0)
+
+    def evaluate():
+        return {level: _cluster_count(30, noise_level=level) for level in levels}
+
+    results = bench_once(benchmark, evaluate)
+    rows = [(level, *results[level]) for level in levels]
+    print("\nAblation: number of performance classes vs system-noise level (N=30)")
+    print(format_table(("noise level", "#classes", "cluster of DDA"), rows))
+
+    counts = [results[level][0] for level in levels]
+    assert counts[0] >= counts[-1]
+    assert results[0.5][1] == 1

@@ -1,0 +1,41 @@
+"""Regenerate the Section IV decision-model numbers.
+
+Paper artefacts (in-text, Section IV): at loop size n = 10 the mean execution
+time of ``algDDA`` is only ~0.002 s better than ``algDDD`` (speed-up ~1.05);
+the speed-up grows with n; and a decision model trading operating cost against
+speed picks ``algDDD`` when the accelerator cost weighs heavily and ``algDDA``
+when latency dominates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import DecisionModelConfig, run_experiment
+
+
+def test_decision_model_speedup_vs_loop_size(benchmark, bench_once):
+    config = DecisionModelConfig(
+        loop_sizes=(5, 10, 20, 40),
+        cost_weights=(0.0, 100.0, 1e6),
+        n_measurements=30,
+        repetitions=40,
+        seed=0,
+    )
+
+    result = bench_once(benchmark, run_experiment, "decision_model", config)
+
+    print("\n" + result.report())
+    speedups = result.speedups()
+    gaps = result.gaps_s()
+
+    # Paper: small absolute gap and ~1.05-1.1x speed-up around n=10 ...
+    assert 1.0 < speedups[10] < 1.2
+    assert 0.0005 < gaps[10] < 0.01  # a few milliseconds
+    # ... and the speed-up increases with n.
+    ordered = [speedups[n] for n in sorted(speedups)]
+    assert all(b >= a for a, b in zip(ordered, ordered[1:]))
+    assert speedups[40] > speedups[5]
+
+    # The operating-cost trade-off: free accelerator time -> offload L3; expensive -> stay on D.
+    for loop_size in config.loop_sizes:
+        assert result.decisions[(loop_size, 0.0)] == "DDA"
+        assert result.decisions[(loop_size, 1e6)] == "DDD"

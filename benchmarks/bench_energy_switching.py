@@ -1,0 +1,41 @@
+"""Regenerate the Section IV energy-aware switching scenario.
+
+Paper artefact (in-text, Section IV): run ``algDDD`` while the edge device's
+energy budget allows it, switch to ``algDAA`` (which ships most FLOPs to the
+accelerator) when the threshold is reached, and switch back once the device
+has cooled down.  The switching policy keeps the edge-device energy below the
+all-on-device baseline at a negligible execution-time cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import EnergySwitchingConfig, run_experiment
+
+
+def test_energy_switching_duty_cycle(benchmark, bench_once):
+    config = EnergySwitchingConfig(
+        loop_size=10, n_invocations=200, threshold_j=20.0, dissipation_j=2.0, seed=0
+    )
+
+    result = bench_once(benchmark, run_experiment, "energy_switching", config)
+
+    print("\n" + result.report())
+    trace = result.trace
+    comparison = result.comparison
+
+    # The policy actually alternates between the two algorithms.
+    assert trace.n_switches >= 2
+    assert 0.0 < trace.usage_fraction(config.preferred) < 1.0
+    assert trace.usage_fraction(config.preferred) + trace.usage_fraction(config.cooldown) == 1.0
+
+    # Energy on the constrained edge device: switching sits between the two static policies.
+    switching = comparison["switching"]["device_energy_j"]
+    static_ddd = comparison["static-DDD"]["device_energy_j"]
+    static_daa = comparison["static-DAA"]["device_energy_j"]
+    assert static_daa < switching < static_ddd
+
+    # The execution-time cost of switching is small (DAA sits in the best/second class).
+    assert comparison["switching"]["time_s"] < 1.1 * comparison["static-DDD"]["time_s"]
+
+    # The FLOPs-budget selector recommends an algorithm that offloads the dominant task.
+    assert result.budget_choice in {"DDA", "DAA", "ADA", "AAA"}

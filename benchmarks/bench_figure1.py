@@ -1,0 +1,55 @@
+"""Regenerate Figure 1a (the algorithm space) and Figure 1b (timing distributions).
+
+Paper artefacts:
+
+* Figure 1a -- the four ways of splitting the two-loop code between the edge
+  device ``D`` and the accelerator ``A``.
+* Figure 1b -- distributions of N = 500 execution-time measurements of the
+  four splits on the CPU+GPU platform, with ``AD`` clearly fastest and
+  ``DD`` / ``DA`` heavily overlapping.
+"""
+
+from __future__ import annotations
+
+from repro.devices import cpu_gpu_platform
+from repro.experiments import Figure1Config, run_experiment
+from repro.offload import enumerate_algorithms
+from repro.tasks import figure1_chain
+
+
+def test_figure1a_algorithm_space(benchmark, bench_once):
+    """Figure 1a: enumerating the splits of the two-loop code over {D, A}."""
+    platform = cpu_gpu_platform()
+    chain = figure1_chain()
+
+    algorithms = bench_once(benchmark, enumerate_algorithms, chain, platform)
+
+    labels = sorted(a.label for a in algorithms)
+    print("\nFigure 1a -- equivalent algorithms induced by the split of the two loops:")
+    for algorithm in algorithms:
+        print(
+            f"  alg{algorithm.label}: "
+            + ", ".join(f"{t.name}->{d}" for t, d in zip(algorithm.chain, algorithm.placement))
+        )
+    assert labels == ["AA", "AD", "DA", "DD"]
+
+
+def test_figure1b_distributions(benchmark, bench_once):
+    """Figure 1b: measurement distributions and the clustering they induce."""
+    config = Figure1Config(n_measurements=500, repetitions=50, seed=0)
+
+    result = bench_once(benchmark, run_experiment, "figure1", config)
+
+    print("\n" + result.report())
+    clusters = {label: result.analysis.cluster_of(label) for label in result.labels}
+    # Paper shape: AD clearly the fastest; AA next; DD/DA bring up the rear and
+    # stay within one class of each other (the paper finds them equivalent).
+    assert clusters["AD"] == 1
+    assert clusters["AD"] < clusters["AA"]
+    assert clusters["AA"] <= clusters["DD"] <= clusters["DA"]
+    assert abs(clusters["DD"] - clusters["DA"]) <= 1
+    # The distributions themselves: offloading only L1 gives a >10% mean improvement,
+    # offloading L2 does not improve the mean at all.
+    measurements = result.measurements
+    assert measurements.speedup("DD", "AD") > 1.10
+    assert measurements.speedup("DD", "DA") < 1.02

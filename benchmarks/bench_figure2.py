@@ -1,0 +1,45 @@
+"""Regenerate Figure 2: the bubble-sort-with-three-way-comparison walk-through.
+
+Paper artefact: the step-by-step trace of Section III and the final sequence
+set ``<(AD,1), (AA,2), (DD,3), (DA,3)>``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Figure2Config, run_experiment
+from repro.experiments.figure2 import PAPER_FINAL_SEQUENCE
+
+
+def test_figure2_trace(benchmark, bench_once):
+    """Replay the worked example and check the exact published outcome."""
+    result = bench_once(benchmark, run_experiment, "figure2", Figure2Config())
+
+    print("\n" + result.report())
+    assert result.matches_paper
+    assert tuple(result.sort.pairs()) == PAPER_FINAL_SEQUENCE
+    assert result.sort.n_classes == 3
+    # The trace contains the four steps the paper discusses explicitly.
+    outcomes = [(step.left, step.outcome.symbol, step.right) for step in result.sort.trace]
+    assert ("DD", "<", "AA") in outcomes
+    assert ("DD", "~", "DA") in outcomes
+    assert ("DA", "<", "AD") in outcomes
+    assert ("DD", "<", "AD") in outcomes
+
+
+def test_figure2_is_order_independent_for_consistent_outcomes(benchmark, bench_once):
+    """With the paper's (consistent) oracle, any initial order yields the same clustering."""
+    from itertools import permutations
+
+    from repro.core import three_way_bubble_sort
+    from repro.experiments import paper_oracle
+
+    def sort_all_orders():
+        results = []
+        for order in permutations(["DD", "AA", "DA", "AD"]):
+            results.append(three_way_bubble_sort(list(order), paper_oracle()).as_mapping())
+        return results
+
+    mappings = bench_once(benchmark, sort_all_orders)
+    expected = dict(PAPER_FINAL_SEQUENCE)
+    assert all(mapping == expected for mapping in mappings)
+    print(f"\nAll {len(mappings)} initial orders converge to {expected}.")

@@ -1,0 +1,57 @@
+"""Regenerate the Section III relative-score illustration (N = 30).
+
+Paper artefact: the in-text relative scores of Section III -- with only 30
+measurements some comparisons are borderline, so algorithms straddle adjacent
+ranks with fractional scores, while the final (max-score, cumulated)
+assignment recovers a clean clustering with ``AD`` on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Section3Config, run_experiment
+
+
+def test_section3_relative_scores(benchmark, bench_once):
+    config = Section3Config(n_measurements=30, repetitions=200, seed=1)
+
+    result = bench_once(benchmark, run_experiment, "section3_scores", config)
+
+    print("\n" + result.report())
+    table = result.score_table
+
+    # Procedure 4 invariants: per-algorithm scores sum to 1.
+    for label in table.labels:
+        assert table.total_score(label) == pytest.approx(1.0)
+
+    # AD is always in the best class, exactly as in the paper's example.
+    assert table.score("AD", 1) == pytest.approx(1.0, abs=0.05)
+    assert result.final.cluster_of("AD") == 1
+
+    # With N = 30 at least one comparison is borderline, so at least one algorithm
+    # splits its relative score over two adjacent ranks (the paper's algAA / algDA).
+    fractional = result.fractional_labels()
+    assert fractional, "expected at least one borderline algorithm at N=30"
+
+    # The final assignment is a partition with cumulated scores close to 1.
+    for label in result.final.labels:
+        assert 0.5 <= result.final.score_of(label) <= 1.0
+
+
+def test_section3_more_measurements_sharpen_the_clustering(benchmark, bench_once):
+    """With many measurements the borderline pairs resolve and more classes appear --
+    the N-dependence discussed in Section III."""
+    from repro.experiments import Figure1Config
+
+    def run_both():
+        small = run_experiment("section3_scores", Section3Config(n_measurements=30, repetitions=60, seed=0))
+        large = run_experiment("figure1", Figure1Config(n_measurements=500, repetitions=40, seed=0))
+        return small, large
+
+    small, large = bench_once(benchmark, run_both)
+    print(
+        f"\nclusters at N=30: {small.final.n_clusters}, clusters at N=500: {large.analysis.n_clusters}"
+    )
+    assert large.analysis.n_clusters >= small.final.n_clusters
+    assert large.analysis.cluster_of("AD") == 1

@@ -1,0 +1,50 @@
+"""Regenerate Table I: clustering of the eight RLS placements into performance classes.
+
+Paper artefact: Table I -- the relative-score clustering of
+``DDD, DDA, DAD, DAA, ADD, ADA, AAD, AAA`` measured N = 30 times each, with
+``DDA`` on top (C1), ``DDD`` second (C2) and ``AAD`` last (C5).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Table1Config, run_experiment
+
+
+def test_table1_clustering(benchmark, bench_once):
+    """Regenerate the Table I clustering and assert the paper's qualitative claims."""
+    config = Table1Config(loop_size=10, n_measurements=30, repetitions=100, seed=0)
+
+    result = bench_once(benchmark, run_experiment, "table1", config)
+
+    print("\n" + result.report())
+    checks = result.qualitative_checks()
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"failed qualitative checks: {failed}"
+    # The headline numbers of Section IV: offloading L3 is only marginally faster.
+    assert 1.0 < result.speedup_dda_over_ddd < 1.35
+    assert result.analysis.n_clusters >= 4
+
+
+def test_table1_flops_attribution(benchmark, bench_once):
+    """The energy-proxy column behind Table I's discussion: FLOPs left on the edge device."""
+    from repro.devices import cpu_gpu_platform
+    from repro.offload import enumerate_algorithms
+    from repro.tasks import table1_chain
+
+    platform = cpu_gpu_platform()
+    chain = table1_chain(loop_size=10)
+
+    algorithms = bench_once(benchmark, enumerate_algorithms, chain, platform)
+
+    rows = sorted(
+        ((a.label, a.flops_on("D"), a.offloaded_fraction("D")) for a in algorithms),
+        key=lambda row: row[1],
+    )
+    print("\nFLOPs remaining on the edge device D per algorithm (Table I workload):")
+    for label, flops, fraction in rows:
+        print(f"  alg{label}: {flops:.3e} FLOPs on D  ({fraction * 100:5.1f}% offloaded)")
+    flops = {label: value for label, value, _ in rows}
+    # L3 dominates the computational volume: offloading it removes ~98% of the edge FLOPs.
+    assert flops["AAA"] == 0.0
+    assert flops["DDA"] < 0.05 * flops["DDD"]
+    assert flops["AAD"] > 0.9 * flops["DDD"]

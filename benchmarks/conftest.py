@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark/experiment-regeneration harness.
+
+Every benchmark regenerates one paper artefact (table, figure or in-text
+number), prints it in the paper's format, asserts its qualitative shape and
+reports the wall-clock cost of the regeneration through pytest-benchmark.
+Heavy experiments are benchmarked with a single round so the harness stays
+fast enough to run after every change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single measured execution and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once():
+    """Fixture exposing :func:`run_once` to the benchmark modules."""
+    return run_once

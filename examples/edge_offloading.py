@@ -1,0 +1,75 @@
+"""Edge offloading: which parts of a scientific code should move to the accelerator?
+
+Reproduces the Table I workflow end to end with the public API:
+
+1. describe the scientific code as a chain of MathTasks (Procedure 5);
+2. enumerate every split of the chain between the edge device ``D`` and the
+   accelerator ``A`` (the set of equivalent algorithms);
+3. measure each split on the simulated CPU+GPU platform;
+4. cluster the splits into performance classes;
+5. select an algorithm under an operating-cost budget and under a FLOPs budget
+   for the energy-constrained edge device.
+
+Run with::
+
+    python examples/edge_offloading.py
+"""
+
+from __future__ import annotations
+
+from repro.devices import SimulatedExecutor, cpu_gpu_platform
+from repro.experiments import default_analyzer
+from repro.offload import enumerate_algorithms, measure_algorithms, profile_algorithms
+from repro.reporting import cluster_table, measurement_summary_table
+from repro.selection import DecisionModel, FlopsBudgetSelector
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+
+def main() -> None:
+    # 1) The scientific code: three dependent Regularised Least Squares loops
+    #    with growing computational volume (Procedure 5 of the paper).
+    chain = TaskChain(
+        [
+            RegularizedLeastSquaresTask(size=50, iterations=10, name="L1"),
+            RegularizedLeastSquaresTask(size=75, iterations=10, name="L2"),
+            RegularizedLeastSquaresTask(size=300, iterations=10, name="L3"),
+        ],
+        name="rls-code",
+    )
+
+    # 2) The platform and the algorithm space (2 devices ^ 3 tasks = 8 algorithms).
+    platform = cpu_gpu_platform()
+    algorithms = enumerate_algorithms(chain, platform)
+    print(f"Equivalent algorithms: {', '.join(a.label for a in algorithms)}\n")
+
+    # 3) Measure every algorithm 30 times on the simulated platform.
+    executor = SimulatedExecutor(platform, seed=0)
+    measurements = measure_algorithms(algorithms, executor, repetitions=30)
+    print(measurement_summary_table(measurements), "\n")
+
+    # 4) Cluster into performance classes (Table I).
+    analyzer = default_analyzer(seed=0, repetitions=100, n_measurements=30)
+    analysis = analyzer.analyze(measurements)
+    print(cluster_table(analysis.final), "\n")
+
+    # 5a) Selection under an operating-cost budget: if accelerator time is free,
+    #     offload L3; if it is expensive, stay on the edge device.
+    profiles = profile_algorithms(algorithms, executor)
+    for weight, scenario in ((0.0, "latency-critical (cost ignored)"), (1e6, "cost-sensitive")):
+        decision = DecisionModel(cost_weight=weight).decide(analysis.final, profiles)
+        print(f"Decision [{scenario}]: {decision.summary()}")
+
+    # 5b) Selection under a FLOPs budget on the edge device: keep at most 10% of
+    #     the code's FLOPs on D, choosing the fastest class that satisfies it.
+    budget = 0.10 * chain.total_flops
+    selection = FlopsBudgetSelector(device=platform.host, budget_flops=budget).select(
+        analysis.final, {a.label: a for a in algorithms}
+    )
+    print(
+        f"\nFLOPs-budget selection (<= {budget:.2e} FLOPs on D): alg{selection.label} "
+        f"from class C{selection.cluster} ({selection.device_flops:.2e} FLOPs on D)"
+    )
+
+
+if __name__ == "__main__":
+    main()

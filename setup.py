@@ -1,0 +1,10 @@
+"""Thin setup.py kept for legacy (non-PEP-660) editable installs.
+
+The execution environment is offline and does not ship the ``wheel`` package,
+so ``pip install -e .`` falls back to the legacy ``setup.py develop`` route
+(``--no-use-pep517``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,173 @@
+"""High-level entry point: cluster a table of measurements into performance classes.
+
+:class:`RelativePerformanceAnalyzer` wires together the pieces of the
+methodology -- a three-way comparator, the bubble sort of Procedure 1 and the
+relative-score clustering of Procedure 4 -- behind a single call::
+
+    analyzer = RelativePerformanceAnalyzer(seed=0)
+    analysis = analyzer.analyze({"DD": times_dd, "DA": times_da, ...})
+    analysis.score_table        # rank -> {algorithm: relative score}
+    analysis.final              # deterministic clusters (Table I style)
+    analysis.best_algorithms()  # the fastest performance class
+
+The analyzer makes no assumption about what the measurements are (execution
+time, energy, ...); it only assumes that smaller is better unless the
+comparator says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .clustering import final_assignment, relative_scores
+from .comparison import BootstrapComparator, Comparator
+from .scores import FinalClustering, ScoreTable
+from .sorting import SortResult, three_way_bubble_sort
+from .types import ArrayComparator, Label, bind_comparator
+
+__all__ = ["RelativePerformanceAnalyzer", "AnalysisResult"]
+
+
+MeasurementsLike = Mapping[Label, "np.ndarray | Sequence[float]"]
+
+
+def _coerce_measurements(measurements) -> dict[Label, np.ndarray]:
+    """Accept a plain mapping or anything exposing ``as_dict()`` (e.g. MeasurementSet)."""
+    if hasattr(measurements, "as_dict"):
+        measurements = measurements.as_dict()
+    if not isinstance(measurements, Mapping):
+        raise TypeError("measurements must be a mapping of label -> array of measurements")
+    coerced: dict[Label, np.ndarray] = {}
+    for label, values in measurements.items():
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError(f"algorithm {label!r} has no measurements")
+        coerced[label] = arr
+    if not coerced:
+        raise ValueError("at least one algorithm is required")
+    return coerced
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Full output of one relative-performance analysis."""
+
+    #: Measurements the analysis was run on (label -> 1-D array).
+    measurements: Mapping[Label, np.ndarray] = field(repr=False)
+    #: Relative scores per rank (Procedure 4 output).
+    score_table: ScoreTable
+    #: Deterministic final assignment derived from the score table.
+    final: FinalClustering
+    #: A single canonical sort of the algorithms in their given order (Procedure 1).
+    canonical_sort: SortResult
+    #: Number of Procedure-4 repetitions used.
+    repetitions: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.final.n_clusters
+
+    def cluster_of(self, label: Label) -> int:
+        return self.final.cluster_of(label)
+
+    def best_algorithms(self) -> list[Label]:
+        """Algorithms in the fastest performance class (cluster 1)."""
+        return self.final.best_cluster()
+
+    def clusters(self) -> dict[int, list[Label]]:
+        return {cluster: [e.label for e in entries] for cluster, entries in self.final}
+
+    def summary(self) -> str:
+        """Paper-style cluster table as a multi-line string (see Table I)."""
+        lines = ["Cluster  Algorithm  Relative Score"]
+        for cluster, entries in self.final:
+            for i, entry in enumerate(entries):
+                prefix = f"C{cluster}" if i == 0 else "  "
+                lines.append(f"{prefix:<8} {str(entry.label):<10} {entry.score:.2f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RelativePerformanceAnalyzer:
+    """Cluster equivalent algorithms into performance classes from their measurements.
+
+    Parameters
+    ----------
+    comparator:
+        Array-level three-way comparator.  Defaults to the bootstrap
+        quantile-profile comparator with the seed below.
+    repetitions:
+        Number of shuffled repetitions of the sorting procedure (``Rep``).
+    seed:
+        Seed for the shuffling generator (and the default comparator).
+    shuffle:
+        Whether to shuffle the algorithm order before each repetition.
+    """
+
+    comparator: ArrayComparator | None = None
+    repetitions: int = 100
+    seed: int | None = 0
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        if self.comparator is None:
+            self.comparator = BootstrapComparator(seed=self.seed if self.seed is not None else 0)
+        if not hasattr(self.comparator, "compare"):
+            raise TypeError("comparator must expose a compare(a, b) method")
+
+    # ------------------------------------------------------------------
+    def rank_once(
+        self,
+        measurements: MeasurementsLike,
+        order: Sequence[Label] | None = None,
+        record_trace: bool = False,
+    ) -> SortResult:
+        """Run a single three-way bubble sort (Procedure 1) over the measurements."""
+        data = _coerce_measurements(measurements)
+        labels = list(order) if order is not None else list(data)
+        missing = [label for label in labels if label not in data]
+        if missing:
+            raise KeyError(f"no measurements for algorithms {missing!r}")
+        compare = bind_comparator(self.comparator, data)
+        return three_way_bubble_sort(labels, compare, record_trace=record_trace)
+
+    def score(self, measurements: MeasurementsLike) -> ScoreTable:
+        """Relative scores per rank (Procedure 4) without the final assignment."""
+        data = _coerce_measurements(measurements)
+        compare = bind_comparator(self.comparator, data)
+        return relative_scores(
+            list(data),
+            compare,
+            repetitions=self.repetitions,
+            rng=self.seed,
+            shuffle=self.shuffle,
+        )
+
+    def analyze(self, measurements: MeasurementsLike) -> AnalysisResult:
+        """Full pipeline: canonical sort, relative scores and final clustering."""
+        data = _coerce_measurements(measurements)
+        compare = bind_comparator(self.comparator, data)
+        table = relative_scores(
+            list(data),
+            compare,
+            repetitions=self.repetitions,
+            rng=self.seed,
+            shuffle=self.shuffle,
+        )
+        final = final_assignment(table)
+        canonical = three_way_bubble_sort(list(data), compare)
+        return AnalysisResult(
+            measurements=data,
+            score_table=table,
+            final=final,
+            canonical_sort=canonical,
+            repetitions=self.repetitions,
+        )
+
+    # Backwards-friendly alias matching the paper's terminology.
+    cluster = analyze

@@ -1,0 +1,304 @@
+"""Three-way comparators: decide *better*, *worse* or *equivalent* between two algorithms.
+
+The clustering methodology of the paper consumes comparisons through a narrow
+interface (:class:`repro.core.types.ArrayComparator`): given the raw
+measurement arrays of two algorithms, return a :class:`Comparison`.  The
+canonical comparator is the **bootstrap quantile-profile comparator** of the
+companion work [15] cited by the paper: statistics are repeatedly evaluated on
+resampled data and the *win fraction* over the bootstrap rounds determines the
+outcome, with an equivalence band around 0.5 capturing "the distributions
+significantly overlap".
+
+Several alternative comparators are provided for baselines and ablations:
+single-statistic comparators with a relative tolerance (mean / median /
+minimum), a Mann-Whitney rank-sum comparator, and a confidence-interval
+overlap comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats
+
+from .bootstrap import bootstrap_quantiles, percentile_interval
+from .types import Comparison
+
+__all__ = [
+    "Comparator",
+    "BootstrapComparator",
+    "SingleStatisticComparator",
+    "MeanComparator",
+    "MedianComparator",
+    "MinimumComparator",
+    "MannWhitneyComparator",
+    "IntervalOverlapComparator",
+    "DEFAULT_QUANTILES",
+]
+
+#: Quantile profile used by default: the bulk of the distribution, ignoring
+#: extreme tails which are dominated by system noise (cf. the caching /
+#: system-noise discussion of the paper's Section I).
+DEFAULT_QUANTILES: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def _validate(a: np.ndarray | Sequence[float], b: np.ndarray | Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    va = np.asarray(a, dtype=float).ravel()
+    vb = np.asarray(b, dtype=float).ravel()
+    if va.size == 0 or vb.size == 0:
+        raise ValueError("both measurement arrays must be non-empty")
+    if not (np.all(np.isfinite(va)) and np.all(np.isfinite(vb))):
+        raise ValueError("measurement arrays must be finite")
+    return va, vb
+
+
+class Comparator:
+    """Base class providing the callable interface and convenience predicates."""
+
+    #: If True (the default for execution time / energy), smaller values are better.
+    lower_is_better: bool = True
+
+    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> Comparison:
+        return self.compare(a, b)
+
+    # Convenience predicates -------------------------------------------------
+    def is_better(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return self.compare(a, b) is Comparison.BETTER
+
+    def is_worse(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return self.compare(a, b) is Comparison.WORSE
+
+    def is_equivalent(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return self.compare(a, b) is Comparison.EQUIVALENT
+
+    def _oriented(self, a_better: bool) -> Comparison:
+        """Map a "first argument has the smaller metric" verdict to an outcome."""
+        if self.lower_is_better:
+            return Comparison.BETTER if a_better else Comparison.WORSE
+        return Comparison.WORSE if a_better else Comparison.BETTER
+
+
+@dataclass
+class BootstrapComparator(Comparator):
+    """Bootstrap quantile-profile comparator (the paper's comparison strategy).
+
+    Both measurement sets are resampled with replacement ``n_resamples`` times
+    and, for every quantile level of the profile, the bootstrap distribution of
+    that quantile is summarised by a two-sided percentile interval.  Algorithm
+    ``a`` *wins* a quantile level when its interval lies entirely below ``b``'s
+    (and the midpoints differ by more than ``min_relative_difference``);
+    levels whose intervals overlap are ties and count half for each side.  The
+    per-level scores are averaged into a win fraction ``f in [0, 1]``:
+
+    * ``f >= 0.5 + equivalence_margin``  ->  ``a`` is **better**;
+    * ``f <= 0.5 - equivalence_margin``  ->  ``a`` is **worse**;
+    * otherwise the distributions overlap significantly -> **equivalent**.
+
+    Because the intervals shrink with the number of measurements ``N``, two
+    partially overlapping distributions may be equivalent at ``N = 30`` but
+    distinguishable at ``N = 500`` -- exactly the behaviour discussed in
+    Section III of the paper ("overlaps become more evident when the number
+    of measurements N is small").
+
+    In the default deterministic mode a generator is derived from the data and
+    the seed, so repeated comparisons of the same pair agree and
+    ``compare(a, b)`` is exactly the flip of ``compare(b, a)``.  With
+    ``stochastic=True`` every call draws fresh resamples; this reproduces the
+    behaviour the paper relies on for the relative scores of Procedure 4,
+    where a borderline pair "switches between < and ~" across repetitions.
+
+    Parameters
+    ----------
+    quantiles:
+        Quantile levels forming the profile that is compared.
+    n_resamples:
+        Number of bootstrap rounds.
+    confidence:
+        Confidence level of the per-quantile percentile intervals.
+    equivalence_margin:
+        Half-width of the equivalence band around a win fraction of 0.5.
+    min_relative_difference:
+        Relative difference (w.r.t. the midpoint of the two quantile
+        estimates) under which a quantile level is always counted as a tie.
+    lower_is_better:
+        Whether smaller measurements are better (True for time and energy).
+    stochastic:
+        Draw fresh resamples on every call instead of deriving them from the
+        data (see above).
+    seed:
+        Seed for the internal random generator.
+    """
+
+    quantiles: Sequence[float] = DEFAULT_QUANTILES
+    n_resamples: int = 200
+    confidence: float = 0.95
+    equivalence_margin: float = 0.15
+    min_relative_difference: float = 0.0
+    lower_is_better: bool = True
+    stochastic: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        q = np.asarray(self.quantiles, dtype=float)
+        if q.size == 0 or np.any((q < 0) | (q > 1)):
+            raise ValueError("quantiles must be a non-empty sequence within [0, 1]")
+        if not 0.0 <= self.equivalence_margin < 0.5:
+            raise ValueError("equivalence_margin must lie in [0, 0.5)")
+        if self.min_relative_difference < 0:
+            raise ValueError("min_relative_difference must be non-negative")
+        if self.n_resamples <= 0:
+            raise ValueError("n_resamples must be positive")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        self._stochastic_rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _rng_for(self, bytes_a: bytes, bytes_b: bytes) -> np.random.Generator:
+        """Derive a per-pair generator so comparisons are reproducible regardless of call order."""
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=8)
+        h.update(bytes_a)
+        h.update(b"|")
+        h.update(bytes_b)
+        return np.random.default_rng([int.from_bytes(h.digest(), "little"), self.seed])
+
+    def _score_levels(self, va: np.ndarray, vb: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Per-quantile-level scores for ``a``: 1 win, 0.5 tie, 0 loss."""
+        qa = bootstrap_quantiles(va, self.quantiles, self.n_resamples, rng)
+        qb = bootstrap_quantiles(vb, self.quantiles, self.n_resamples, rng)
+        alpha = 1.0 - self.confidence
+        lo_a, hi_a = np.quantile(qa, [alpha / 2.0, 1.0 - alpha / 2.0], axis=0)
+        lo_b, hi_b = np.quantile(qb, [alpha / 2.0, 1.0 - alpha / 2.0], axis=0)
+        mid_a = np.median(qa, axis=0)
+        mid_b = np.median(qb, axis=0)
+        tol = self.min_relative_difference * 0.5 * (np.abs(mid_a) + np.abs(mid_b))
+        a_wins = (hi_a < lo_b) & (mid_b - mid_a > tol)
+        b_wins = (hi_b < lo_a) & (mid_a - mid_b > tol)
+        return np.where(a_wins, 1.0, np.where(b_wins, 0.0, 0.5))
+
+    def win_fraction(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Fraction of quantile levels won by ``a`` (ties count 0.5).
+
+        In the deterministic mode the pair is internally canonicalised so that
+        ``win_fraction(a, b) == 1 - win_fraction(b, a)`` holds exactly, which
+        makes the resulting three-way comparison antisymmetric.
+        """
+        va, vb = _validate(a, b)
+        if self.stochastic:
+            return float(self._score_levels(va, vb, self._stochastic_rng).mean())
+        bytes_a = np.ascontiguousarray(va).tobytes()
+        bytes_b = np.ascontiguousarray(vb).tobytes()
+        if bytes_a == bytes_b:
+            return 0.5
+        if bytes_b < bytes_a:
+            return 1.0 - self.win_fraction(vb, va)
+        rng = self._rng_for(bytes_a, bytes_b)
+        return float(self._score_levels(va, vb, rng).mean())
+
+    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
+        f = self.win_fraction(a, b)
+        if f >= 0.5 + self.equivalence_margin:
+            return self._oriented(a_better=True)
+        if f <= 0.5 - self.equivalence_margin:
+            return self._oriented(a_better=False)
+        return Comparison.EQUIVALENT
+
+
+@dataclass
+class SingleStatisticComparator(Comparator):
+    """Baseline comparator: reduce each distribution to one number and compare.
+
+    This is the strategy the paper argues against -- "a single number (such as
+    statistical mean, median or minimum) cannot reliably capture the
+    performance of an algorithm" -- and is included as the baseline for the
+    stability ablations.  Two algorithms are equivalent when their statistics
+    differ by less than ``rel_tolerance`` relative to their midpoint.
+    """
+
+    statistic: Callable[[np.ndarray], float] = np.mean
+    rel_tolerance: float = 0.0
+    lower_is_better: bool = True
+    name: str = "statistic"
+
+    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
+        va, vb = _validate(a, b)
+        sa = float(self.statistic(va))
+        sb = float(self.statistic(vb))
+        midpoint = 0.5 * (abs(sa) + abs(sb))
+        if midpoint == 0.0 or abs(sa - sb) <= self.rel_tolerance * midpoint:
+            return Comparison.EQUIVALENT
+        return self._oriented(a_better=sa < sb)
+
+
+def MeanComparator(rel_tolerance: float = 0.0, lower_is_better: bool = True) -> SingleStatisticComparator:
+    """Single-statistic comparator using the arithmetic mean."""
+    return SingleStatisticComparator(np.mean, rel_tolerance, lower_is_better, name="mean")
+
+
+def MedianComparator(rel_tolerance: float = 0.0, lower_is_better: bool = True) -> SingleStatisticComparator:
+    """Single-statistic comparator using the median."""
+    return SingleStatisticComparator(np.median, rel_tolerance, lower_is_better, name="median")
+
+
+def MinimumComparator(rel_tolerance: float = 0.0, lower_is_better: bool = True) -> SingleStatisticComparator:
+    """Single-statistic comparator using the minimum (best observed run)."""
+    return SingleStatisticComparator(np.min, rel_tolerance, lower_is_better, name="minimum")
+
+
+@dataclass
+class MannWhitneyComparator(Comparator):
+    """Three-way comparison via the Mann-Whitney U rank-sum test.
+
+    If the two samples are not significantly different at level ``alpha`` the
+    algorithms are equivalent; otherwise the direction is taken from the
+    medians.  Provided as a classical-statistics alternative to bootstrapping.
+    """
+
+    alpha: float = 0.05
+    lower_is_better: bool = True
+
+    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
+        va, vb = _validate(a, b)
+        if np.array_equal(va, vb):
+            return Comparison.EQUIVALENT
+        result = stats.mannwhitneyu(va, vb, alternative="two-sided")
+        if result.pvalue >= self.alpha:
+            return Comparison.EQUIVALENT
+        return self._oriented(a_better=float(np.median(va)) < float(np.median(vb)))
+
+
+@dataclass
+class IntervalOverlapComparator(Comparator):
+    """Compare bootstrap confidence intervals of a summary statistic.
+
+    The statistic (median by default) is bootstrapped for both algorithms; if
+    the two percentile confidence intervals overlap the algorithms are
+    equivalent, otherwise the direction is given by the interval ordering.
+    """
+
+    statistic: Callable[[np.ndarray], np.ndarray] = field(
+        default=lambda m: np.median(m, axis=-1)
+    )
+    confidence: float = 0.95
+    n_resamples: int = 200
+    lower_is_better: bool = True
+    seed: int = 0
+
+    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
+        va, vb = _validate(a, b)
+        rng = np.random.default_rng(self.seed)
+        from .bootstrap import bootstrap_statistic  # local import avoids cycle at module load
+
+        sa = bootstrap_statistic(va, self.statistic, self.n_resamples, rng)
+        sb = bootstrap_statistic(vb, self.statistic, self.n_resamples, rng)
+        ia = percentile_interval(sa, self.confidence)
+        ib = percentile_interval(sb, self.confidence)
+        if ia.overlaps(ib):
+            return Comparison.EQUIVALENT
+        return self._oriented(a_better=ia.high < ib.low)

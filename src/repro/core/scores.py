@@ -1,0 +1,236 @@
+"""Containers for relative scores and final cluster assignments.
+
+Procedure 4 of the paper produces, for every rank ``r``, the set of algorithms
+that obtained rank ``r`` in at least one of the ``Rep`` repetitions of the
+sorting procedure, together with a *relative score* -- the fraction of
+repetitions in which the algorithm obtained that rank.  An algorithm can
+therefore appear in several clusters with different confidences.
+
+:class:`ScoreTable` stores that rank -> {algorithm: score} structure.
+:class:`FinalClustering` stores the deterministic assignment derived from it
+(each algorithm goes to the cluster where it scored highest and its scores
+from better ranks are cumulated), which is the representation used for
+algorithm selection in Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .types import Label
+
+__all__ = ["ScoreTable", "FinalClustering", "ClusterEntry", "make_final_clustering"]
+
+
+@dataclass(frozen=True)
+class ClusterEntry:
+    """An algorithm's membership in one cluster, with its (relative) score."""
+
+    label: Label
+    score: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0 + 1e-12:
+            raise ValueError(f"score must lie in [0, 1], got {self.score}")
+
+
+class ScoreTable:
+    """Relative scores per rank, as produced by Procedure 4.
+
+    The table behaves like a mapping ``rank -> {label: score}``.  Ranks are
+    1-based and contiguous from 1 to :attr:`n_ranks`.
+    """
+
+    def __init__(self, scores: Mapping[int, Mapping[Label, float]]):
+        cleaned: dict[int, dict[Label, float]] = {}
+        for rank, entries in scores.items():
+            if rank < 1:
+                raise ValueError(f"ranks are 1-based, got {rank}")
+            cleaned[int(rank)] = {label: float(score) for label, score in entries.items()}
+        for rank, entries in cleaned.items():
+            for label, score in entries.items():
+                if not 0.0 <= score <= 1.0 + 1e-12:
+                    raise ValueError(
+                        f"relative score of {label!r} at rank {rank} must lie in [0, 1], got {score}"
+                    )
+        self._scores: dict[int, dict[Label, float]] = dict(sorted(cleaned.items()))
+
+    # -- mapping-like interface ------------------------------------------------
+    def __getitem__(self, rank: int) -> dict[Label, float]:
+        return dict(self._scores[rank])
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._scores
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._scores)
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScoreTable):
+            return NotImplemented
+        return self._scores == other._scores
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScoreTable({self._scores!r})"
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Largest rank present in the table."""
+        return max(self._scores, default=0)
+
+    @property
+    def labels(self) -> list[Label]:
+        """All algorithms mentioned anywhere in the table."""
+        seen: dict[Label, None] = {}
+        for entries in self._scores.values():
+            for label in entries:
+                seen.setdefault(label, None)
+        return list(seen)
+
+    def ranks(self) -> list[int]:
+        return list(self._scores)
+
+    def score(self, label: Label, rank: int) -> float:
+        """Relative score of ``label`` at ``rank`` (0.0 if it never obtained that rank)."""
+        return self._scores.get(rank, {}).get(label, 0.0)
+
+    def scores_of(self, label: Label) -> dict[int, float]:
+        """All non-zero scores of one algorithm, keyed by rank."""
+        return {
+            rank: entries[label]
+            for rank, entries in self._scores.items()
+            if label in entries
+        }
+
+    def entries(self, rank: int) -> list[ClusterEntry]:
+        """Entries of one rank sorted by decreasing score then label order."""
+        items = self._scores.get(rank, {})
+        return [
+            ClusterEntry(label, score)
+            for label, score in sorted(items.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        ]
+
+    def total_score(self, label: Label) -> float:
+        """Sum of an algorithm's scores over all ranks (== 1 for Procedure 4 output)."""
+        return sum(self.scores_of(label).values())
+
+    def cumulative_score(self, label: Label, rank: int) -> float:
+        """Score of ``label`` at ``rank`` plus all its scores from *better* (smaller) ranks."""
+        return sum(score for r, score in self.scores_of(label).items() if r <= rank)
+
+    def best_rank(self, label: Label) -> int:
+        """The best (smallest) rank the algorithm ever obtained."""
+        scores = self.scores_of(label)
+        if not scores:
+            raise KeyError(f"{label!r} does not appear in the score table")
+        return min(scores)
+
+    def argmax_rank(self, label: Label) -> int:
+        """The rank at which the algorithm obtained its maximum relative score.
+
+        Ties are broken towards the better (smaller) rank, consistent with the
+        paper's preference for the best defensible class.
+        """
+        scores = self.scores_of(label)
+        if not scores:
+            raise KeyError(f"{label!r} does not appear in the score table")
+        best = max(scores.values())
+        return min(rank for rank, score in scores.items() if score >= best - 1e-12)
+
+    def as_dict(self) -> dict[int, dict[Label, float]]:
+        """Plain-dict copy of the table."""
+        return {rank: dict(entries) for rank, entries in self._scores.items()}
+
+    def to_rows(self) -> list[tuple[int, Label, float]]:
+        """Flat ``(rank, label, score)`` rows in Table I order."""
+        rows: list[tuple[int, Label, float]] = []
+        for rank in self._scores:
+            for entry in self.entries(rank):
+                rows.append((rank, entry.label, entry.score))
+        return rows
+
+
+@dataclass(frozen=True)
+class FinalClustering:
+    """Deterministic one-cluster-per-algorithm assignment derived from a :class:`ScoreTable`.
+
+    Attributes
+    ----------
+    clusters:
+        Mapping cluster index (1 = best) to the entries assigned to it.  The
+        entry scores are the *cumulated* relative scores (score at the chosen
+        rank plus the scores from all better ranks), as in the final
+        clustering example of Section III.
+    source:
+        The score table this assignment was derived from.
+    """
+
+    clusters: Mapping[int, tuple[ClusterEntry, ...]]
+    source: ScoreTable | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def labels(self) -> list[Label]:
+        return [entry.label for entries in self.clusters.values() for entry in entries]
+
+    def cluster_of(self, label: Label) -> int:
+        for cluster, entries in self.clusters.items():
+            if any(entry.label == label for entry in entries):
+                return cluster
+        raise KeyError(f"{label!r} is not assigned to any cluster")
+
+    def score_of(self, label: Label) -> float:
+        for entries in self.clusters.values():
+            for entry in entries:
+                if entry.label == label:
+                    return entry.score
+        raise KeyError(f"{label!r} is not assigned to any cluster")
+
+    def members(self, cluster: int) -> list[Label]:
+        return [entry.label for entry in self.clusters[cluster]]
+
+    def best_cluster(self) -> list[Label]:
+        """Labels of the fastest performance class."""
+        if not self.clusters:
+            return []
+        return self.members(min(self.clusters))
+
+    def as_dict(self) -> dict[int, dict[Label, float]]:
+        return {
+            cluster: {entry.label: entry.score for entry in entries}
+            for cluster, entries in self.clusters.items()
+        }
+
+    def ordered_labels(self) -> list[Label]:
+        """All labels ordered by cluster, then by decreasing score."""
+        out: list[Label] = []
+        for cluster in sorted(self.clusters):
+            out.extend(entry.label for entry in self.clusters[cluster])
+        return out
+
+    def __iter__(self) -> Iterator[tuple[int, tuple[ClusterEntry, ...]]]:
+        return iter(sorted(self.clusters.items()))
+
+
+def make_final_clustering(
+    entries_by_cluster: Mapping[int, Iterable[ClusterEntry]],
+    source: ScoreTable | None = None,
+) -> FinalClustering:
+    """Build a :class:`FinalClustering`, normalising cluster numbering to 1..k."""
+    ordered = [
+        (cluster, tuple(sorted(entries, key=lambda e: (-e.score, str(e.label)))))
+        for cluster, entries in sorted(entries_by_cluster.items())
+    ]
+    ordered = [(cluster, entries) for cluster, entries in ordered if entries]
+    clusters: dict[int, tuple[ClusterEntry, ...]] = {
+        new_index: entries for new_index, (_, entries) in enumerate(ordered, start=1)
+    }
+    return FinalClustering(clusters=clusters, source=source)

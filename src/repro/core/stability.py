@@ -1,0 +1,152 @@
+"""Stability metrics for rankings and clusterings.
+
+These metrics back the ablation benchmarks: the paper's central claim for the
+relative-performance methodology is that, under measurement noise, a ranking
+obtained from single summary statistics "might not be consistent when the
+performance measurements are repeated", whereas merging statistically
+indistinguishable algorithms into one class is robust.  The functions here
+quantify consistency between two ranking outcomes and across many repeated
+measurement rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .types import Label
+
+__all__ = [
+    "pairwise_order_agreement",
+    "kendall_tau_distance",
+    "cluster_partition_agreement",
+    "StabilityReport",
+    "stability_across_rounds",
+]
+
+
+def _relation(rank_a: int, rank_b: int) -> int:
+    """-1, 0, +1 relation between two ranks (smaller rank = better)."""
+    if rank_a < rank_b:
+        return -1
+    if rank_a > rank_b:
+        return 1
+    return 0
+
+
+def pairwise_order_agreement(
+    ranks_a: Mapping[Label, int],
+    ranks_b: Mapping[Label, int],
+) -> float:
+    """Fraction of unordered label pairs whose relation (better / worse / tied) agrees.
+
+    Both mappings must rank exactly the same label set.  Returns 1.0 for a
+    single label (no pairs to disagree on).
+    """
+    if set(ranks_a) != set(ranks_b):
+        raise ValueError("both rankings must cover the same algorithms")
+    labels = sorted(ranks_a, key=str)
+    pairs = list(combinations(labels, 2))
+    if not pairs:
+        return 1.0
+    agreements = sum(
+        _relation(ranks_a[x], ranks_a[y]) == _relation(ranks_b[x], ranks_b[y]) for x, y in pairs
+    )
+    return agreements / len(pairs)
+
+
+def kendall_tau_distance(
+    ranks_a: Mapping[Label, int],
+    ranks_b: Mapping[Label, int],
+) -> float:
+    """Normalised Kendall tau distance between two rankings (0 = identical order, 1 = reversed).
+
+    Ties are handled by counting a pair as discordant only when the two
+    rankings order it in strictly opposite directions.
+    """
+    if set(ranks_a) != set(ranks_b):
+        raise ValueError("both rankings must cover the same algorithms")
+    labels = sorted(ranks_a, key=str)
+    pairs = list(combinations(labels, 2))
+    if not pairs:
+        return 0.0
+    discordant = sum(
+        _relation(ranks_a[x], ranks_a[y]) * _relation(ranks_b[x], ranks_b[y]) < 0 for x, y in pairs
+    )
+    return discordant / len(pairs)
+
+
+def cluster_partition_agreement(
+    clusters_a: Mapping[Label, int],
+    clusters_b: Mapping[Label, int],
+) -> float:
+    """Rand-index-style agreement between two clusterings (fraction of pairs co-/separately clustered alike)."""
+    if set(clusters_a) != set(clusters_b):
+        raise ValueError("both clusterings must cover the same algorithms")
+    labels = sorted(clusters_a, key=str)
+    pairs = list(combinations(labels, 2))
+    if not pairs:
+        return 1.0
+    same = sum(
+        (clusters_a[x] == clusters_a[y]) == (clusters_b[x] == clusters_b[y]) for x, y in pairs
+    )
+    return same / len(pairs)
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Aggregate stability of a ranking strategy across repeated measurement rounds."""
+
+    #: Mean pairwise order agreement between all pairs of rounds.
+    mean_order_agreement: float
+    #: Mean Rand-style partition agreement between all pairs of rounds.
+    mean_partition_agreement: float
+    #: Fraction of rounds in which the identity of the best class/algorithm set is identical to the modal one.
+    best_class_consistency: float
+    #: Number of rounds compared.
+    n_rounds: int
+
+    def summary(self) -> str:
+        return (
+            f"rounds={self.n_rounds}  order-agreement={self.mean_order_agreement:.3f}  "
+            f"partition-agreement={self.mean_partition_agreement:.3f}  "
+            f"best-class-consistency={self.best_class_consistency:.3f}"
+        )
+
+
+def stability_across_rounds(
+    rank_rounds: Sequence[Mapping[Label, int]],
+) -> StabilityReport:
+    """Compute pairwise stability metrics over the outcomes of repeated measurement rounds.
+
+    Parameters
+    ----------
+    rank_rounds:
+        One ``label -> rank`` mapping per measurement round (every round must
+        cover the same algorithms).
+    """
+    if len(rank_rounds) < 2:
+        raise ValueError("at least two rounds are required to measure stability")
+    order_scores = []
+    partition_scores = []
+    best_sets = []
+    for ranks in rank_rounds:
+        best_rank = min(ranks.values())
+        best_sets.append(frozenset(label for label, rank in ranks.items() if rank == best_rank))
+    for a, b in combinations(range(len(rank_rounds)), 2):
+        order_scores.append(pairwise_order_agreement(rank_rounds[a], rank_rounds[b]))
+        partition_scores.append(cluster_partition_agreement(rank_rounds[a], rank_rounds[b]))
+    # modal best-class set
+    counts: dict[frozenset, int] = {}
+    for best in best_sets:
+        counts[best] = counts.get(best, 0) + 1
+    modal = max(counts.values())
+    return StabilityReport(
+        mean_order_agreement=float(np.mean(order_scores)),
+        mean_partition_agreement=float(np.mean(partition_scores)),
+        best_class_consistency=modal / len(best_sets),
+        n_rounds=len(rank_rounds),
+    )

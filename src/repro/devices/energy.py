@@ -1,0 +1,59 @@
+"""Energy accounting for simulated executions.
+
+The paper uses "FLOPs executed on the device" as its energy proxy; this module
+adds an explicit physical-units model on top of it: every device draws its
+active power while busy and its idle power while waiting for the rest of the
+code, and every byte crossing a link costs the link's per-byte energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-device and transfer energy of one execution (all values in Joules)."""
+
+    active_j: Mapping[str, float] = field(default_factory=dict)
+    idle_j: Mapping[str, float] = field(default_factory=dict)
+    transfer_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        for mapping_name in ("active_j", "idle_j"):
+            for device, value in getattr(self, mapping_name).items():
+                if value < 0:
+                    raise ValueError(f"{mapping_name}[{device!r}] must be non-negative")
+        if self.transfer_j < 0:
+            raise ValueError("transfer_j must be non-negative")
+
+    def device_total(self, alias: str) -> float:
+        """Total energy attributed to one device (active + idle)."""
+        return self.active_j.get(alias, 0.0) + self.idle_j.get(alias, 0.0)
+
+    @property
+    def devices(self) -> list[str]:
+        return sorted(set(self.active_j) | set(self.idle_j))
+
+    @property
+    def total_j(self) -> float:
+        """Total energy of the execution across devices and transfers."""
+        return (
+            sum(self.active_j.values())
+            + sum(self.idle_j.values())
+            + self.transfer_j
+        )
+
+    def combined(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Sum of two breakdowns (e.g. energy of consecutive code invocations)."""
+        devices = set(self.devices) | set(other.devices)
+        return EnergyBreakdown(
+            active_j={
+                d: self.active_j.get(d, 0.0) + other.active_j.get(d, 0.0) for d in devices
+            },
+            idle_j={d: self.idle_j.get(d, 0.0) + other.idle_j.get(d, 0.0) for d in devices},
+            transfer_j=self.transfer_j + other.transfer_j,
+        )

@@ -1,0 +1,137 @@
+"""Host-based executor: real NumPy execution plus accelerator emulation.
+
+The paper measures real TensorFlow code on a CPU+GPU node; this environment
+has neither a GPU nor TensorFlow, but the paper itself points out (footnote 2)
+that other device/accelerator settings "can be simulated by adding artificial
+delays and controlling the number of threads".  :class:`HostExecutor` follows
+that recipe:
+
+* tasks placed on the *host* device are **really executed** with NumPy/SciPy
+  and timed with a monotonic timer;
+* tasks placed on an accelerator are executed once on the host to preserve the
+  numerical data flow (the penalty chain), and their *time contribution* is
+  the emulated accelerator time: measured host time divided by the configured
+  speed-up, plus the modelled transfer and dispatch overheads.
+
+This gives genuinely noisy measurements (the host part is real) with a
+controllable accelerator model, and is what the runnable examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..measurement.dataset import MeasurementSet
+from ..tasks.chain import TaskChain
+from .platform import Platform
+
+__all__ = ["HostExecutor"]
+
+
+@dataclass
+class HostExecutor:
+    """Execute task chains on the local machine, emulating accelerators with artificial delays.
+
+    Parameters
+    ----------
+    platform:
+        Platform description; the host alias identifies which tasks run for real.
+    accelerator_speedup:
+        Emulated compute speed-up of non-host devices relative to the host for
+        the *kernel* part of a task.  A mapping ``alias -> factor`` or a single
+        factor applied to every accelerator.
+    seed:
+        Seed for the task input generation (keeps the numerics reproducible).
+    """
+
+    platform: Platform
+    accelerator_speedup: float | dict[str, float] = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.accelerator_speedup, (int, float)):
+            factor = float(self.accelerator_speedup)
+            if factor <= 0:
+                raise ValueError("accelerator_speedup must be positive")
+            self._speedups = {alias: factor for alias in self.platform.accelerators}
+        else:
+            self._speedups = {alias: float(f) for alias, f in self.accelerator_speedup.items()}
+            for alias, factor in self._speedups.items():
+                if factor <= 0:
+                    raise ValueError(f"accelerator_speedup[{alias!r}] must be positive")
+        self.platform.validate_aliases(self._speedups)
+        self._rng = np.random.default_rng(self.seed)
+
+    def _speedup(self, alias: str) -> float:
+        if alias == self.platform.host:
+            return 1.0
+        try:
+            return self._speedups[alias]
+        except KeyError as exc:
+            raise KeyError(f"no emulated speed-up configured for accelerator {alias!r}") from exc
+
+    # ------------------------------------------------------------------
+    def run_once(self, chain: TaskChain, placement: Sequence[str] | str) -> float:
+        """Execute the chain once and return the (partly emulated) execution time in seconds."""
+        aliases = tuple(placement)
+        if len(aliases) != len(chain):
+            raise ValueError(
+                f"placement {aliases!r} has {len(aliases)} entries but the chain has {len(chain)} tasks"
+            )
+        self.platform.validate_aliases(aliases)
+        host = self.platform.host
+
+        total = 0.0
+        penalty = 0.0
+        for task, alias in zip(chain, aliases):
+            start = perf_counter()
+            penalty = task.run(penalty, rng=self._rng)
+            elapsed = perf_counter() - start
+            if alias == host:
+                total += elapsed
+            else:
+                cost = task.cost()
+                device = self.platform.device(alias)
+                emulated_compute = elapsed / self._speedup(alias)
+                emulated_overheads = (
+                    self.platform.transfer_time(host, alias, cost.input_bytes)
+                    + self.platform.transfer_time(alias, host, cost.output_bytes)
+                    + cost.kernel_calls * device.kernel_launch_overhead_s
+                    + device.task_startup_overhead_s
+                )
+                total += emulated_compute + emulated_overheads
+        return total
+
+    def measure(
+        self,
+        chain: TaskChain,
+        placement: Sequence[str] | str,
+        repetitions: int = 10,
+        warmup: int = 1,
+    ) -> np.ndarray:
+        """Measure one placement ``repetitions`` times (plus warm-up runs)."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        for _ in range(warmup):
+            self.run_once(chain, placement)
+        return np.array([self.run_once(chain, placement) for _ in range(repetitions)])
+
+    def measure_all(
+        self,
+        chain: TaskChain,
+        placements: Iterable[Sequence[str] | str],
+        repetitions: int = 10,
+        warmup: int = 1,
+    ) -> MeasurementSet:
+        """Measure several placements and return a labelled measurement set."""
+        measurements = MeasurementSet(metric="execution time", unit="s")
+        for placement in placements:
+            label = "".join(placement)
+            measurements.add(label, self.measure(chain, placement, repetitions, warmup))
+        return measurements

@@ -1,0 +1,47 @@
+"""Interconnect model between devices.
+
+Offloading a task moves its inputs to the accelerator and its results back;
+the :class:`LinkSpec` captures the bandwidth, latency and energy cost of that
+movement.  Several canonical links (PCIe, USB, Wi-Fi, LTE, loopback) are
+provided by :mod:`repro.devices.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkSpec"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point interconnect between two devices."""
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float = 0.0
+    energy_per_byte_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("link name must be non-empty")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth_gbs must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if self.energy_per_byte_j < 0:
+            raise ValueError("energy_per_byte_j must be non-negative")
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Seconds needed to move ``n_bytes`` across the link (one message)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency_s + n_bytes / (self.bandwidth_gbs * 1e9)
+
+    def transfer_energy(self, n_bytes: float) -> float:
+        """Energy (J) consumed by moving ``n_bytes`` across the link."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return self.energy_per_byte_j * n_bytes

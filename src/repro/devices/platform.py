@@ -1,0 +1,103 @@
+"""Heterogeneous platform: a set of devices joined by interconnects.
+
+A :class:`Platform` maps short device aliases (``"D"`` for the edge device,
+``"A"`` for the accelerator, ...) to :class:`~repro.devices.device.DeviceSpec`
+objects and holds the :class:`~repro.devices.link.LinkSpec` between each pair.
+One device is designated the *host*: it is where the scientific code is
+invoked from and where task inputs originate, so offloading a task to any
+other device pays the corresponding transfer costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .device import DeviceSpec
+from .link import LinkSpec
+
+__all__ = ["Platform"]
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Canonical unordered key for a device pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A host device, optional accelerators and the links between them."""
+
+    devices: Mapping[str, DeviceSpec]
+    links: Mapping[tuple[str, str], LinkSpec] = field(default_factory=dict)
+    host: str = "D"
+    name: str = "platform"
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a platform needs at least one device")
+        if self.host not in self.devices:
+            raise ValueError(f"host alias {self.host!r} is not among the devices {sorted(self.devices)}")
+        # Normalise link keys to their canonical unordered form.
+        normalised: dict[tuple[str, str], LinkSpec] = {}
+        for (a, b), link in self.links.items():
+            if a not in self.devices or b not in self.devices:
+                raise ValueError(f"link ({a!r}, {b!r}) references unknown devices")
+            if a == b:
+                raise ValueError("links must connect two distinct devices")
+            normalised[_pair(a, b)] = link
+        object.__setattr__(self, "links", normalised)
+        object.__setattr__(self, "devices", dict(self.devices))
+
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> list[str]:
+        """Device aliases, host first."""
+        others = [alias for alias in self.devices if alias != self.host]
+        return [self.host, *others]
+
+    @property
+    def accelerators(self) -> list[str]:
+        """All non-host device aliases."""
+        return [alias for alias in self.devices if alias != self.host]
+
+    def device(self, alias: str) -> DeviceSpec:
+        try:
+            return self.devices[alias]
+        except KeyError as exc:
+            raise KeyError(f"unknown device alias {alias!r}; available: {sorted(self.devices)}") from exc
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        """The link between two distinct devices (raises if none is defined)."""
+        if a == b:
+            raise ValueError("no link is needed between a device and itself")
+        self.device(a)
+        self.device(b)
+        try:
+            return self.links[_pair(a, b)]
+        except KeyError as exc:
+            raise KeyError(f"no link defined between {a!r} and {b!r}") from exc
+
+    def transfer_time(self, a: str, b: str, n_bytes: float) -> float:
+        """Transfer time between two devices (0 if they are the same device)."""
+        if a == b:
+            return 0.0
+        return self.link(a, b).transfer_time(n_bytes)
+
+    def transfer_energy(self, a: str, b: str, n_bytes: float) -> float:
+        """Transfer energy between two devices (0 if they are the same device)."""
+        if a == b:
+            return 0.0
+        return self.link(a, b).transfer_energy(n_bytes)
+
+    def validate_aliases(self, aliases: Iterable[str]) -> None:
+        """Raise if any alias is not a device of this platform."""
+        unknown = sorted(set(aliases) - set(self.devices))
+        if unknown:
+            raise KeyError(f"unknown device aliases {unknown}; available: {sorted(self.devices)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Platform(name={self.name!r}, host={self.host!r}, "
+            f"devices={list(self.devices)}, links={list(self.links)})"
+        )

@@ -1,0 +1,229 @@
+"""Analytic execution simulator for task chains on a heterogeneous platform.
+
+Given a :class:`~repro.tasks.chain.TaskChain` and a placement (one device
+alias per task), the simulator predicts the noise-free execution time, the
+per-device busy times and FLOPs, the transferred bytes, the energy breakdown
+and the operating cost, and can turn the noise-free estimate into a vector of
+``N`` noisy measurements via a :class:`~repro.measurement.noise.NoiseModel` --
+the stand-in for the paper's real CPU+GPU testbed (see DESIGN.md, substitution
+table).
+
+The timing model per task:
+
+* the executing device pays its compute/launch time (:meth:`DeviceSpec.compute_time`);
+* if the task is placed on a non-host device, the task's inputs are shipped to
+  it and its outputs shipped back over the platform link, plus a one-time
+  task-startup overhead on the device;
+* consecutive tasks on different devices exchange the scalar penalty, paying
+  one link latency.
+
+Tasks are data-dependent (each consumes the previous task's penalty), so the
+total time is simply the sum over tasks -- there is no overlap to exploit,
+exactly as in Procedure 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..measurement.dataset import MeasurementSet
+from ..measurement.noise import NoiseModel, default_system_noise
+from ..tasks.chain import TaskChain
+from .energy import EnergyBreakdown
+from .platform import Platform
+
+__all__ = ["TaskExecutionRecord", "ExecutionRecord", "SimulatedExecutor"]
+
+
+@dataclass(frozen=True)
+class TaskExecutionRecord:
+    """Timing/energy attribution of a single task within one execution."""
+
+    task_name: str
+    device: str
+    busy_time_s: float
+    transfer_time_s: float
+    transferred_bytes: float
+    flops: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.busy_time_s + self.transfer_time_s
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Full accounting of one (noise-free) execution of a placed task chain."""
+
+    placement: tuple[str, ...]
+    tasks: tuple[TaskExecutionRecord, ...]
+    total_time_s: float
+    busy_time_by_device: Mapping[str, float]
+    flops_by_device: Mapping[str, float]
+    transferred_bytes: float
+    energy: EnergyBreakdown
+    operating_cost: float
+
+    @property
+    def label(self) -> str:
+        """The algorithm label, e.g. ``"DDA"``."""
+        return "".join(self.placement)
+
+    def flops_on(self, alias: str) -> float:
+        """FLOPs executed on one device (the paper's energy proxy for that device)."""
+        return self.flops_by_device.get(alias, 0.0)
+
+    def busy_fraction(self, alias: str) -> float:
+        """Fraction of the total execution during which the device is busy."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.busy_time_by_device.get(alias, 0.0) / self.total_time_s
+
+
+@dataclass
+class SimulatedExecutor:
+    """Execute task chains analytically on a simulated platform.
+
+    Parameters
+    ----------
+    platform:
+        The heterogeneous platform (devices + links).
+    noise:
+        Noise model applied when generating measurement vectors; defaults to
+        the calibrated system-noise composite.
+    seed:
+        Seed of the measurement-noise generator.
+    """
+
+    platform: Platform
+    noise: NoiseModel = field(default_factory=default_system_noise)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _normalise_placement(self, chain: TaskChain, placement: Sequence[str] | str) -> tuple[str, ...]:
+        aliases = tuple(placement)
+        if len(aliases) != len(chain):
+            raise ValueError(
+                f"placement {aliases!r} has {len(aliases)} entries but the chain has {len(chain)} tasks"
+            )
+        self.platform.validate_aliases(aliases)
+        return aliases
+
+    def execute(self, chain: TaskChain, placement: Sequence[str] | str) -> ExecutionRecord:
+        """Noise-free execution record of the chain under the given placement."""
+        aliases = self._normalise_placement(chain, placement)
+        host = self.platform.host
+
+        task_records: list[TaskExecutionRecord] = []
+        busy: dict[str, float] = {alias: 0.0 for alias in self.platform.devices}
+        flops: dict[str, float] = {alias: 0.0 for alias in self.platform.devices}
+        transferred = 0.0
+        transfer_energy = 0.0
+        total_time = 0.0
+        previous_device = host
+
+        for task, alias in zip(chain, aliases):
+            cost = task.cost()
+            device = self.platform.device(alias)
+            busy_time = device.compute_time(cost)
+
+            transfer_time = 0.0
+            task_bytes = 0.0
+            if alias != host:
+                # Inputs travel host -> device, results device -> host.
+                transfer_time += self.platform.transfer_time(host, alias, cost.input_bytes)
+                transfer_time += self.platform.transfer_time(alias, host, cost.output_bytes)
+                transfer_energy += self.platform.transfer_energy(host, alias, cost.input_bytes)
+                transfer_energy += self.platform.transfer_energy(alias, host, cost.output_bytes)
+                task_bytes += cost.transferred_bytes
+                busy_time += device.task_startup_overhead_s
+            if alias != previous_device:
+                # The scalar penalty produced by the previous task crosses devices.
+                penalty_bytes = 8.0
+                route = (previous_device, alias) if previous_device != host and alias != host else (
+                    previous_device,
+                    alias,
+                )
+                transfer_time += self.platform.transfer_time(*route, penalty_bytes)
+                transfer_energy += self.platform.transfer_energy(*route, penalty_bytes)
+                task_bytes += penalty_bytes
+
+            busy[alias] += busy_time
+            flops[alias] += cost.flops
+            transferred += task_bytes
+            total_time += busy_time + transfer_time
+            previous_device = alias
+            task_records.append(
+                TaskExecutionRecord(
+                    task_name=task.name,
+                    device=alias,
+                    busy_time_s=busy_time,
+                    transfer_time_s=transfer_time,
+                    transferred_bytes=task_bytes,
+                    flops=cost.flops,
+                )
+            )
+
+        active = {alias: self.platform.device(alias).active_energy(busy[alias]) for alias in busy}
+        idle = {
+            alias: self.platform.device(alias).idle_energy(max(total_time - busy[alias], 0.0))
+            for alias in busy
+        }
+        energy = EnergyBreakdown(active_j=active, idle_j=idle, transfer_j=transfer_energy)
+        cost_total = sum(
+            self.platform.device(alias).operating_cost(busy[alias]) for alias in busy
+        )
+        return ExecutionRecord(
+            placement=aliases,
+            tasks=tuple(task_records),
+            total_time_s=total_time,
+            busy_time_by_device=busy,
+            flops_by_device=flops,
+            transferred_bytes=transferred,
+            energy=energy,
+            operating_cost=cost_total,
+        )
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        chain: TaskChain,
+        placement: Sequence[str] | str,
+        repetitions: int = 30,
+    ) -> np.ndarray:
+        """Vector of ``repetitions`` noisy execution-time measurements."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        record = self.execute(chain, placement)
+        return self.noise(record.total_time_s, repetitions, self._rng)
+
+    def measure_all(
+        self,
+        chain: TaskChain,
+        placements: Iterable[Sequence[str] | str],
+        repetitions: int = 30,
+    ) -> MeasurementSet:
+        """Measure several placements and return a labelled measurement set."""
+        measurements = MeasurementSet(metric="execution time", unit="s")
+        for placement in placements:
+            label = "".join(placement)
+            measurements.add(label, self.measure(chain, placement, repetitions))
+        return measurements
+
+    def energy_measure(
+        self,
+        chain: TaskChain,
+        placement: Sequence[str] | str,
+        repetitions: int = 30,
+    ) -> np.ndarray:
+        """Vector of noisy *energy* measurements (J) for the placed chain."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        record = self.execute(chain, placement)
+        return self.noise(record.energy.total_j, repetitions, self._rng)

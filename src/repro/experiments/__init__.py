@@ -1,0 +1,63 @@
+"""Experiment harness: one runner per paper table/figure plus a registry.
+
+Experiment ids (see DESIGN.md, per-experiment index):
+
+* ``figure1``          -- Fig. 1a splits and Fig. 1b timing distributions (N=500).
+* ``figure2``          -- the bubble-sort walk-through of Fig. 2 (exact replay).
+* ``section3_scores``  -- the N=30 relative-score illustration of Section III.
+* ``table1``           -- the clustering of the 8 RLS placements (Table I).
+* ``decision_model``   -- the cost/speed trade-off numbers of Section IV.
+* ``energy_switching`` -- the DDD <-> DAA duty-cycle scenario of Section IV.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from . import decision_model, energy_switching, figure1, figure2, section3_scores, table1
+from .base import default_analyzer
+from .decision_model import DecisionModelConfig, DecisionModelResult
+from .energy_switching import EnergySwitchingConfig, EnergySwitchingResult
+from .figure1 import Figure1Config, Figure1Result
+from .figure2 import Figure2Config, Figure2Result, paper_oracle
+from .section3_scores import Section3Config, Section3Result
+from .table1 import PAPER_TABLE1, Table1Config, Table1Result
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "default_analyzer",
+    "Figure1Config",
+    "Figure1Result",
+    "Figure2Config",
+    "Figure2Result",
+    "paper_oracle",
+    "Section3Config",
+    "Section3Result",
+    "Table1Config",
+    "Table1Result",
+    "PAPER_TABLE1",
+    "DecisionModelConfig",
+    "DecisionModelResult",
+    "EnergySwitchingConfig",
+    "EnergySwitchingResult",
+]
+
+#: Registry: experiment id -> runner callable (each accepts an optional config object).
+EXPERIMENTS: Mapping[str, Callable[..., Any]] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "section3_scores": section3_scores.run,
+    "table1": table1.run,
+    "decision_model": decision_model.run,
+    "energy_switching": energy_switching.run,
+}
+
+
+def run_experiment(name: str, config: Any | None = None) -> Any:
+    """Run a registered experiment by id and return its result object."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}") from exc
+    return runner(config) if config is not None else runner()

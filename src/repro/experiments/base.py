@@ -1,0 +1,54 @@
+"""Shared plumbing for the experiment runners.
+
+Every experiment module exposes a ``*Config`` dataclass and a ``run(config)``
+function returning a result object with a ``report()`` method that prints the
+regenerated paper artefact (table rows, histogram, trace, ...).  The registry
+in :mod:`repro.experiments` maps experiment ids (``"table1"``, ``"figure1b"``,
+...) to these runners so the benchmark harness and the examples can look them
+up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..core.analyzer import RelativePerformanceAnalyzer
+from ..core.comparison import BootstrapComparator
+
+__all__ = ["ExperimentResult", "default_analyzer"]
+
+
+class ExperimentResult(Protocol):
+    """Minimal interface every experiment result provides."""
+
+    def report(self) -> str:  # pragma: no cover - protocol
+        ...
+
+
+def default_analyzer(
+    seed: int = 0,
+    repetitions: int = 100,
+    n_measurements: int = 30,
+    stochastic: bool = True,
+) -> RelativePerformanceAnalyzer:
+    """The analyzer configuration used by the paper-shaped experiments.
+
+    The equivalence sensitivity of the bootstrap comparator depends on the
+    number of measurements (its per-quantile intervals shrink with N); the
+    experiments simply pass their N so the comparator resamples accordingly.
+    ``stochastic=True`` draws fresh resamples per comparison, which is what
+    gives the fractional relative scores of Procedure 4 (borderline pairs
+    "switch between < and ~" across repetitions, Section III).
+    """
+    comparator = BootstrapComparator(
+        seed=seed,
+        n_resamples=min(max(100, 2 * n_measurements), 250),
+        stochastic=stochastic,
+        # The inter-quartile profile is robust to the occasional outlier run
+        # (cache miss, preemption) that the system-noise model injects; the
+        # extreme tails would otherwise dominate the comparison of heavily
+        # overlapping distributions.
+        quantiles=(0.25, 0.5, 0.75),
+    )
+    return RelativePerformanceAnalyzer(comparator=comparator, repetitions=repetitions, seed=seed)

@@ -1,0 +1,122 @@
+"""Experiment ``energy_switching``: the duty-cycle scenario of Section IV.
+
+"When energy consumption of a particular device reaches a certain threshold,
+one might be interested in switching to an algorithm that performs fewer
+floating point operations (FLOPs) on that device, and then switches back to
+the high-performance algorithm after a while."
+
+Using the Table I workload, this experiment runs the
+:class:`~repro.selection.switching.EnergyAwareSwitcher` with ``DDD`` as the
+preferred (all-on-device) algorithm and ``DAA`` as the cool-down algorithm
+(it offloads most of the FLOPs to the accelerator), and compares the switching
+policy with statically running either algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..devices import SimulatedExecutor, cpu_gpu_platform
+from ..measurement.noise import default_system_noise
+from ..offload import AlgorithmProfile, enumerate_algorithms, profile_algorithms
+from ..reporting import format_table
+from ..selection import EnergyAwareSwitcher, FlopsBudgetSelector, SwitchingPolicy, SwitchingTrace
+from ..tasks import table1_chain
+from .table1 import Table1Config, Table1Result
+from .table1 import run as run_table1
+
+__all__ = ["EnergySwitchingConfig", "EnergySwitchingResult", "run"]
+
+
+@dataclass(frozen=True)
+class EnergySwitchingConfig:
+    """Parameters of the energy-aware switching experiment."""
+
+    loop_size: int = 10
+    #: Number of successive invocations of the scientific code to simulate.
+    n_invocations: int = 200
+    #: Edge-device energy threshold (J) that triggers the switch to the cool-down algorithm.
+    threshold_j: float = 20.0
+    #: Passive energy drained per invocation while cooling down (J).
+    dissipation_j: float = 2.0
+    #: Preferred / cool-down algorithms (the paper's choice: DDD and DAA).
+    preferred: str = "DDD"
+    cooldown: str = "DAA"
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class EnergySwitchingResult:
+    config: EnergySwitchingConfig
+    trace: SwitchingTrace
+    comparison: Mapping[str, Mapping[str, float]]
+    profiles: Mapping[str, AlgorithmProfile]
+    #: Algorithm chosen by a FLOPs-budget selector from the fastest clusters (sanity check
+    #: that DAA-like algorithms are what the budgeted selection recommends).
+    budget_choice: str
+    table1: Table1Result
+
+    def report(self) -> str:
+        rows = [
+            (
+                strategy,
+                f"{values['time_s']:.3f}",
+                f"{values['device_energy_j']:.2f}",
+            )
+            for strategy, values in self.comparison.items()
+        ]
+        parts = [
+            "Energy-aware switching (Section IV): run DDD until the edge energy budget is hit,",
+            f"switch to {self.config.cooldown} while cooling down, switch back afterwards.",
+            "",
+            f"invocations: {self.trace.n_invocations}, switches: {self.trace.n_switches}, "
+            f"fraction on {self.config.preferred}: {self.trace.usage_fraction(self.config.preferred):.2f}",
+            f"peak accumulated edge energy: {self.trace.peak_accumulated_j:.2f} J "
+            f"(threshold {self.config.threshold_j:.2f} J)",
+            "",
+            format_table(("strategy", "total time [s]", "edge-device energy [J]"), rows),
+            "",
+            f"FLOPs-budget selector recommendation for a constrained edge device: {self.budget_choice}",
+        ]
+        return "\n".join(parts)
+
+
+def run(config: EnergySwitchingConfig | None = None) -> EnergySwitchingResult:
+    """Run the duty-cycle switching simulation on the Table I workload."""
+    cfg = config or EnergySwitchingConfig()
+    table1 = run_table1(
+        Table1Config(loop_size=cfg.loop_size, seed=cfg.seed, n_measurements=30, repetitions=60)
+    )
+
+    platform = cpu_gpu_platform()
+    executor = SimulatedExecutor(platform, noise=default_system_noise(0.0), seed=cfg.seed)
+    chain = table1_chain(loop_size=cfg.loop_size)
+    algorithms = {a.label: a for a in enumerate_algorithms(chain, platform)}
+    profiles = profile_algorithms(algorithms.values(), executor)
+
+    policy = SwitchingPolicy(
+        preferred=cfg.preferred,
+        cooldown=cfg.cooldown,
+        device=platform.host,
+        threshold_j=cfg.threshold_j,
+        dissipation_j_per_invocation=cfg.dissipation_j,
+    )
+    switcher = EnergyAwareSwitcher(policy=policy, profiles=profiles)
+    trace = switcher.simulate(cfg.n_invocations)
+    comparison = switcher.compare_with_static(cfg.n_invocations)
+
+    # Which algorithm would a FLOPs budget on the edge device recommend?  The budget is set
+    # between DDD's and DAA's edge FLOPs so the selector has to ship work to the accelerator.
+    ddd_flops = algorithms["DDD"].flops_on(platform.host)
+    selector = FlopsBudgetSelector(device=platform.host, budget_flops=0.25 * ddd_flops)
+    budget_choice = str(selector.select(table1.analysis.final, algorithms).label)
+
+    return EnergySwitchingResult(
+        config=cfg,
+        trace=trace,
+        comparison=comparison,
+        profiles=profiles,
+        budget_choice=budget_choice,
+        table1=table1,
+    )

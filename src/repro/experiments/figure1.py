@@ -1,0 +1,103 @@
+"""Experiment ``figure1``: the two-loop GEMM code split between CPU and GPU.
+
+Regenerates
+
+* **Figure 1a** -- the four ways of splitting the code among the devices
+  (``DD``, ``DA``, ``AD``, ``AA``), and
+* **Figure 1b** -- the distributions of N = 500 execution-time measurements of
+  each split on the CPU+GPU platform, plus the clustering they induce.
+
+Expected shape (cf. DESIGN.md): ``AD`` is clearly the fastest, ``AA`` follows,
+and ``DD`` / ``DA`` bring up the rear with heavily overlapping distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.analyzer import AnalysisResult
+from ..devices import SimulatedExecutor, cpu_gpu_platform
+from ..measurement.dataset import MeasurementSet
+from ..measurement.noise import default_system_noise
+from ..offload import OffloadedAlgorithm, enumerate_algorithms, measure_algorithms
+from ..reporting import cluster_table, distribution_report, measurement_summary_table
+from ..tasks import figure1_chain
+from .base import default_analyzer
+
+__all__ = ["Figure1Config", "Figure1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure1Config:
+    """Parameters of the Figure 1 experiment."""
+
+    #: Number of measurements per algorithm (the paper uses 500 in Figure 1b).
+    n_measurements: int = 500
+    #: Number of Procedure-4 repetitions.
+    repetitions: int = 100
+    #: Seed for the simulator noise, the comparator and the shuffles.
+    seed: int = 0
+    #: Overall system-noise level of the simulated platform.
+    noise_level: float = 1.0
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Outputs of the Figure 1 experiment."""
+
+    config: Figure1Config
+    algorithms: tuple[OffloadedAlgorithm, ...]
+    measurements: MeasurementSet
+    analysis: AnalysisResult
+
+    @property
+    def labels(self) -> list[str]:
+        return [algorithm.label for algorithm in self.algorithms]
+
+    def splits_report(self) -> str:
+        """Figure 1a: the enumerated splits of the code among the devices."""
+        lines = ["Figure 1a -- ways of splitting the two-loop code between D and A:"]
+        for algorithm in self.algorithms:
+            loops = ", ".join(
+                f"{task.name}->{device}" for task, device in zip(algorithm.chain, algorithm.placement)
+            )
+            lines.append(f"  alg{algorithm.label}: {loops}")
+        return "\n".join(lines)
+
+    def distributions_report(self) -> str:
+        """Figure 1b: the execution-time distributions of the four splits."""
+        return distribution_report(self.measurements.as_dict(), bins=24, width=40)
+
+    def report(self) -> str:
+        parts = [
+            self.splits_report(),
+            "",
+            f"Figure 1b -- execution-time distributions (N={self.config.n_measurements}):",
+            measurement_summary_table(self.measurements),
+            "",
+            self.distributions_report(),
+            cluster_table(self.analysis.final, title="Clustering of the four splits"),
+        ]
+        return "\n".join(parts)
+
+
+def run(config: Figure1Config | None = None) -> Figure1Result:
+    """Run the Figure 1 experiment on the simulated CPU+GPU platform."""
+    cfg = config or Figure1Config()
+    platform = cpu_gpu_platform()
+    executor = SimulatedExecutor(
+        platform, noise=default_system_noise(cfg.noise_level), seed=cfg.seed
+    )
+    chain = figure1_chain()
+    algorithms = enumerate_algorithms(chain, platform)
+    measurements = measure_algorithms(algorithms, executor, repetitions=cfg.n_measurements)
+    analyzer = default_analyzer(
+        seed=cfg.seed, repetitions=cfg.repetitions, n_measurements=cfg.n_measurements
+    )
+    analysis = analyzer.analyze(measurements)
+    return Figure1Result(
+        config=cfg,
+        algorithms=tuple(algorithms),
+        measurements=measurements,
+        analysis=analysis,
+    )

@@ -1,0 +1,35 @@
+"""Measurement harness: datasets, timers, runners and noise models."""
+
+from .dataset import MeasurementSet, MeasurementSummary
+from .noise import (
+    AdditiveJitter,
+    CompositeNoise,
+    DriftNoise,
+    GaussianNoise,
+    LognormalNoise,
+    NoiseModel,
+    NoNoise,
+    OutlierNoise,
+    default_system_noise,
+)
+from .runner import MeasurementRunner
+from .timers import ProcessTimeTimer, Timer, WallClockTimer, measure_callable
+
+__all__ = [
+    "MeasurementSet",
+    "MeasurementSummary",
+    "MeasurementRunner",
+    "Timer",
+    "WallClockTimer",
+    "ProcessTimeTimer",
+    "measure_callable",
+    "NoiseModel",
+    "NoNoise",
+    "LognormalNoise",
+    "GaussianNoise",
+    "OutlierNoise",
+    "DriftNoise",
+    "AdditiveJitter",
+    "CompositeNoise",
+    "default_system_noise",
+]

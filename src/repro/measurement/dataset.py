@@ -1,0 +1,189 @@
+"""Measurement containers.
+
+A :class:`MeasurementSet` holds, for every algorithm label, the raw vector of
+repeated performance measurements (execution times, energies, ...).  It is the
+object handed to :class:`repro.core.analyzer.RelativePerformanceAnalyzer` and
+produced by the measurement runners and the device simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import Label
+
+__all__ = ["MeasurementSet", "MeasurementSummary"]
+
+
+@dataclass(frozen=True)
+class MeasurementSummary:
+    """Classical summary statistics of one algorithm's measurement distribution."""
+
+    label: Label
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Relative dispersion (std / mean); 0 for a perfectly stable measurement."""
+        return self.std / self.mean if self.mean != 0 else float("inf")
+
+    def as_row(self) -> tuple:
+        return (
+            self.label,
+            self.n,
+            self.mean,
+            self.std,
+            self.minimum,
+            self.q25,
+            self.median,
+            self.q75,
+            self.maximum,
+        )
+
+
+class MeasurementSet:
+    """Mapping from algorithm label to a 1-D array of repeated measurements.
+
+    Parameters
+    ----------
+    data:
+        Optional initial ``label -> measurements`` mapping.
+    metric:
+        Name of the measured quantity (e.g. ``"execution time"``).
+    unit:
+        Unit of the measurements (e.g. ``"s"``).
+    require_positive:
+        If True (default), non-positive measurements are rejected -- execution
+        times and energies are strictly positive quantities.
+    """
+
+    def __init__(
+        self,
+        data: Mapping[Label, Sequence[float] | np.ndarray] | None = None,
+        metric: str = "execution time",
+        unit: str = "s",
+        require_positive: bool = True,
+    ) -> None:
+        self.metric = metric
+        self.unit = unit
+        self.require_positive = require_positive
+        self._data: dict[Label, np.ndarray] = {}
+        if data is not None:
+            for label, values in data.items():
+                self.add(label, values)
+
+    # -- construction -----------------------------------------------------------
+    def _validate(self, label: Label, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError(f"measurements for {label!r} must not be empty")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"measurements for {label!r} contain non-finite values")
+        if self.require_positive and np.any(arr <= 0):
+            raise ValueError(f"measurements for {label!r} must be strictly positive")
+        return arr
+
+    def add(self, label: Label, values: Sequence[float] | np.ndarray) -> None:
+        """Add (or replace) the full measurement vector of one algorithm."""
+        self._data[label] = self._validate(label, np.asarray(values, dtype=float))
+
+    def record(self, label: Label, value: float) -> None:
+        """Append a single measurement to an algorithm (creating it if needed)."""
+        single = self._validate(label, np.asarray([value], dtype=float))
+        if label in self._data:
+            self._data[label] = np.concatenate([self._data[label], single])
+        else:
+            self._data[label] = single
+
+    def extend(self, label: Label, values: Sequence[float] | np.ndarray) -> None:
+        """Append several measurements to an algorithm (creating it if needed)."""
+        arr = self._validate(label, np.asarray(values, dtype=float))
+        if label in self._data:
+            self._data[label] = np.concatenate([self._data[label], arr])
+        else:
+            self._data[label] = arr
+
+    def merge(self, other: "MeasurementSet") -> "MeasurementSet":
+        """Return a new set containing the union of both (other wins on clashes)."""
+        merged = MeasurementSet(metric=self.metric, unit=self.unit, require_positive=self.require_positive)
+        for label in self.labels:
+            merged.add(label, self[label])
+        for label in other.labels:
+            merged.add(label, other[label])
+        return merged
+
+    def subset(self, labels: Iterable[Label]) -> "MeasurementSet":
+        """Return a new set restricted to the given labels (order preserved)."""
+        out = MeasurementSet(metric=self.metric, unit=self.unit, require_positive=self.require_positive)
+        for label in labels:
+            out.add(label, self[label])
+        return out
+
+    # -- mapping interface --------------------------------------------------------
+    def __getitem__(self, label: Label) -> np.ndarray:
+        return self._data[label]
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._data
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self):
+        return self._data.items()
+
+    @property
+    def labels(self) -> list[Label]:
+        return list(self._data)
+
+    def n_measurements(self, label: Label) -> int:
+        return int(self._data[label].size)
+
+    def as_dict(self) -> dict[Label, np.ndarray]:
+        """Plain-dict view (arrays are not copied)."""
+        return dict(self._data)
+
+    # -- statistics ----------------------------------------------------------------
+    def summary(self, label: Label) -> MeasurementSummary:
+        """Summary statistics of one algorithm's distribution."""
+        values = self._data[label]
+        q25, median, q75 = np.quantile(values, [0.25, 0.5, 0.75])
+        return MeasurementSummary(
+            label=label,
+            n=int(values.size),
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            minimum=float(values.min()),
+            q25=float(q25),
+            median=float(median),
+            q75=float(q75),
+            maximum=float(values.max()),
+        )
+
+    def summaries(self) -> list[MeasurementSummary]:
+        """Summary statistics for every algorithm in insertion order."""
+        return [self.summary(label) for label in self._data]
+
+    def mean(self, label: Label) -> float:
+        return float(self._data[label].mean())
+
+    def speedup(self, baseline: Label, label: Label) -> float:
+        """Mean-speedup of ``label`` relative to ``baseline`` (>1 means faster)."""
+        return self.mean(baseline) / self.mean(label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {label: arr.size for label, arr in self._data.items()}
+        return f"MeasurementSet(metric={self.metric!r}, unit={self.unit!r}, n={sizes})"

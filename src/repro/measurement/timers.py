@@ -1,0 +1,62 @@
+"""Timers and single-callable measurement helpers.
+
+The paper's methodology is measurement-based: every algorithm is executed and
+timed ``N`` times.  This module provides the wall-clock / CPU-time timers and
+a :func:`measure_callable` helper with warm-up handling, which the
+:class:`~repro.measurement.runner.MeasurementRunner` builds on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Timer", "WallClockTimer", "ProcessTimeTimer", "measure_callable"]
+
+
+@dataclass(frozen=True)
+class Timer:
+    """A named source of monotonically increasing timestamps (in seconds)."""
+
+    name: str
+    now: Callable[[], float]
+
+    def time(self, fn: Callable[[], object]) -> float:
+        """Execute ``fn`` once and return its duration in seconds."""
+        start = self.now()
+        fn()
+        return self.now() - start
+
+
+#: Wall-clock timer (includes time spent waiting on accelerators / I/O).
+WallClockTimer = Timer(name="perf_counter", now=time.perf_counter)
+
+#: CPU-time timer (excludes sleeps; useful to separate compute from waiting).
+ProcessTimeTimer = Timer(name="process_time", now=time.process_time)
+
+
+def measure_callable(
+    fn: Callable[[], object],
+    repetitions: int,
+    warmup: int = 1,
+    timer: Timer = WallClockTimer,
+) -> np.ndarray:
+    """Execute ``fn`` ``warmup + repetitions`` times and return the timed repetitions.
+
+    Warm-up executions absorb one-time effects (JIT, caches, lazy allocations)
+    that the paper's cited work identifies as a major source of measurement
+    noise; their durations are discarded.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        fn()
+    times = np.empty(repetitions, dtype=float)
+    for i in range(repetitions):
+        times[i] = timer.time(fn)
+    return times

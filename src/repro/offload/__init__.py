@@ -1,0 +1,17 @@
+"""Algorithm space induced by splitting a task chain among devices."""
+
+from .algorithm import OffloadedAlgorithm
+from .execution import AlgorithmProfile, measure_algorithms, profile_algorithms
+from .placement import Placement
+from .space import enumerate_algorithms, enumerate_placements, sample_algorithms
+
+__all__ = [
+    "Placement",
+    "OffloadedAlgorithm",
+    "enumerate_placements",
+    "enumerate_algorithms",
+    "sample_algorithms",
+    "measure_algorithms",
+    "profile_algorithms",
+    "AlgorithmProfile",
+]

@@ -1,0 +1,83 @@
+"""An offloaded algorithm: a task chain bound to one particular placement.
+
+The paper's set ``A`` of "mathematically equivalent algorithms" is exactly the
+set of :class:`OffloadedAlgorithm` objects obtained by enumerating all
+placements of a chain over the platform's devices: every member computes the
+same quantity, but distributes the work differently and therefore has its own
+performance and energy profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.platform import Platform
+from ..tasks.chain import TaskChain
+from .placement import Placement
+
+__all__ = ["OffloadedAlgorithm"]
+
+
+@dataclass(frozen=True)
+class OffloadedAlgorithm:
+    """A task chain together with the devices each task runs on."""
+
+    chain: TaskChain
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        if len(self.placement) != len(self.chain):
+            raise ValueError(
+                f"placement {self.placement.label!r} does not match chain with {len(self.chain)} tasks"
+            )
+
+    @property
+    def label(self) -> str:
+        """Algorithm name in the paper's notation (``"DDA"`` etc.)."""
+        return self.placement.label
+
+    # -- FLOP accounting (the paper's energy proxy) -------------------------------
+    def flops_on(self, alias: str) -> float:
+        """FLOPs this algorithm executes on the given device."""
+        return float(
+            sum(
+                task.flops
+                for task, device in zip(self.chain, self.placement)
+                if device == alias
+            )
+        )
+
+    def flops_by_device(self) -> dict[str, float]:
+        """FLOPs per device alias actually used by this algorithm."""
+        out: dict[str, float] = {}
+        for task, device in zip(self.chain, self.placement):
+            out[device] = out.get(device, 0.0) + task.flops
+        return out
+
+    @property
+    def total_flops(self) -> float:
+        return self.chain.total_flops
+
+    def offloaded_fraction(self, host: str) -> float:
+        """Fraction of the code's FLOPs shipped away from the host device."""
+        total = self.total_flops
+        if total == 0:
+            return 0.0
+        return 1.0 - self.flops_on(host) / total
+
+    def transferred_bytes(self, host: str) -> float:
+        """Bytes that cross the interconnect when running this algorithm."""
+        return float(
+            sum(
+                task.cost().transferred_bytes
+                for task, device in zip(self.chain, self.placement)
+                if device != host
+            )
+        )
+
+    def validate(self, platform: Platform) -> None:
+        """Check the placement against a platform (raises on unknown aliases)."""
+        self.placement.validate(self.chain, platform)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"alg{self.label}"

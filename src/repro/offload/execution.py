@@ -1,0 +1,100 @@
+"""Bind algorithm spaces to executors and produce measurement sets.
+
+This is the glue between the offload layer (which defines *what* can run
+where) and the executors (which determine *how long* it takes): given a list
+of :class:`~repro.offload.algorithm.OffloadedAlgorithm` and an executor
+(simulated or host-based), produce the :class:`~repro.measurement.dataset.MeasurementSet`
+that the relative-performance analyzer consumes, plus the per-algorithm
+execution records used by the selection policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..devices.simulator import ExecutionRecord, SimulatedExecutor
+from ..measurement.dataset import MeasurementSet
+from ..tasks.chain import TaskChain
+from .algorithm import OffloadedAlgorithm
+
+__all__ = ["ChainExecutor", "measure_algorithms", "profile_algorithms", "AlgorithmProfile"]
+
+
+class ChainExecutor(Protocol):
+    """Anything that can measure a placed task chain (simulated or host executor)."""
+
+    def measure(
+        self, chain: TaskChain, placement: Sequence[str] | str, repetitions: int = ...
+    ) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+def measure_algorithms(
+    algorithms: Iterable[OffloadedAlgorithm],
+    executor: ChainExecutor,
+    repetitions: int = 30,
+) -> MeasurementSet:
+    """Measure every algorithm ``repetitions`` times with the given executor."""
+    algorithm_list = list(algorithms)
+    if not algorithm_list:
+        raise ValueError("at least one algorithm is required")
+    labels = [algorithm.label for algorithm in algorithm_list]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"algorithm labels must be unique, got {labels}")
+    measurements = MeasurementSet(metric="execution time", unit="s")
+    for algorithm in algorithm_list:
+        times = executor.measure(algorithm.chain, algorithm.placement.devices, repetitions)
+        measurements.add(algorithm.label, times)
+    return measurements
+
+
+@dataclass(frozen=True)
+class AlgorithmProfile:
+    """Static (noise-free) profile of one algorithm on a simulated platform.
+
+    Combines the quantities the selection policies of Section IV reason about:
+    predicted execution time, FLOPs per device, transferred bytes, energy and
+    operating cost.
+    """
+
+    algorithm: OffloadedAlgorithm
+    record: ExecutionRecord
+
+    @property
+    def label(self) -> str:
+        return self.algorithm.label
+
+    @property
+    def time_s(self) -> float:
+        return self.record.total_time_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.record.energy.total_j
+
+    @property
+    def operating_cost(self) -> float:
+        return self.record.operating_cost
+
+    def flops_on(self, alias: str) -> float:
+        return self.algorithm.flops_on(alias)
+
+    def device_energy(self, alias: str) -> float:
+        return self.record.energy.device_total(alias)
+
+
+def profile_algorithms(
+    algorithms: Iterable[OffloadedAlgorithm],
+    executor: SimulatedExecutor,
+) -> Mapping[str, AlgorithmProfile]:
+    """Noise-free profiles of every algorithm, keyed by label."""
+    profiles: dict[str, AlgorithmProfile] = {}
+    for algorithm in algorithms:
+        record = executor.execute(algorithm.chain, algorithm.placement.devices)
+        profiles[algorithm.label] = AlgorithmProfile(algorithm=algorithm, record=record)
+    if not profiles:
+        raise ValueError("at least one algorithm is required")
+    return profiles

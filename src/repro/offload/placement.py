@@ -1,0 +1,94 @@
+"""Placements: the assignment of every task of a chain to a device.
+
+A placement is written as a string of device aliases, one per task, in task
+order -- exactly the paper's notation: ``"DDA"`` runs L1 and L2 on the edge
+device and offloads L3 to the accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..devices.platform import Platform
+from ..tasks.chain import TaskChain
+
+__all__ = ["Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable tuple of device aliases, one per task of a chain."""
+
+    devices: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a placement needs at least one device assignment")
+        if not all(isinstance(alias, str) and alias for alias in self.devices):
+            raise ValueError("device aliases must be non-empty strings")
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "Placement":
+        """Parse the paper's compact notation (one character per task), e.g. ``"DDA"``."""
+        if not text:
+            raise ValueError("placement string must be non-empty")
+        return cls(tuple(text))
+
+    @classmethod
+    def uniform(cls, alias: str, n_tasks: int) -> "Placement":
+        """All tasks on the same device (e.g. ``Placement.uniform("D", 3)`` -> ``DDD``)."""
+        if n_tasks <= 0:
+            raise ValueError("n_tasks must be positive")
+        return cls(tuple(alias for _ in range(n_tasks)))
+
+    # -- behaviour ----------------------------------------------------------------
+    def __str__(self) -> str:
+        return "".join(self.devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.devices)
+
+    def __getitem__(self, index: int) -> str:
+        return self.devices[index]
+
+    @property
+    def label(self) -> str:
+        """The algorithm label used throughout the paper (``"DDA"``, ``"AD"``, ...)."""
+        return str(self)
+
+    def count(self, alias: str) -> int:
+        """How many tasks are placed on the given device."""
+        return self.devices.count(alias)
+
+    def tasks_on(self, alias: str) -> list[int]:
+        """Indices of the tasks placed on the given device."""
+        return [i for i, a in enumerate(self.devices) if a == alias]
+
+    def uses(self, alias: str) -> bool:
+        return alias in self.devices
+
+    def n_offloaded(self, host: str) -> int:
+        """Number of tasks placed away from the host device."""
+        return sum(1 for alias in self.devices if alias != host)
+
+    def validate(self, chain: TaskChain, platform: Platform) -> None:
+        """Raise if the placement does not fit the chain or references unknown devices."""
+        if len(self.devices) != len(chain):
+            raise ValueError(
+                f"placement {self.label!r} has {len(self.devices)} entries, "
+                f"but chain {chain.name!r} has {len(chain)} tasks"
+            )
+        platform.validate_aliases(self.devices)
+
+    def with_task_on(self, index: int, alias: str) -> "Placement":
+        """A copy of this placement with one task reassigned."""
+        if not 0 <= index < len(self.devices):
+            raise IndexError(f"task index {index} out of range for {self.label!r}")
+        devices = list(self.devices)
+        devices[index] = alias
+        return Placement(tuple(devices))

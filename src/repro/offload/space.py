@@ -1,0 +1,121 @@
+"""Enumeration of the algorithm space induced by splitting a chain over devices.
+
+With ``k`` tasks and ``m`` devices there are ``m**k`` placements (the paper's
+Figure 1a shows the ``2**2 = 4`` splits of the two-loop code; Table I uses the
+``2**3 = 8`` splits of the three-task code).  The space can be filtered, e.g.
+to bound how many tasks may be offloaded, or sub-sampled when it explodes
+combinatorially (the situation discussed in the paper's conclusion).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..devices.platform import Platform
+from ..tasks.chain import TaskChain
+from .algorithm import OffloadedAlgorithm
+from .placement import Placement
+
+__all__ = ["enumerate_placements", "enumerate_algorithms", "sample_algorithms"]
+
+
+def enumerate_placements(
+    n_tasks: int,
+    device_aliases: Sequence[str],
+    predicate: Callable[[Placement], bool] | None = None,
+) -> list[Placement]:
+    """All placements of ``n_tasks`` over the given devices, in lexicographic order.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of tasks in the chain.
+    device_aliases:
+        Candidate devices for every task (e.g. ``["D", "A"]``).
+    predicate:
+        Optional filter; only placements for which it returns True are kept.
+    """
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    aliases = list(device_aliases)
+    if not aliases:
+        raise ValueError("at least one device alias is required")
+    if len(set(aliases)) != len(aliases):
+        raise ValueError("device aliases must be unique")
+    placements = [Placement(combo) for combo in product(aliases, repeat=n_tasks)]
+    if predicate is not None:
+        placements = [p for p in placements if predicate(p)]
+    return placements
+
+
+def enumerate_algorithms(
+    chain: TaskChain,
+    platform: Platform,
+    devices: Sequence[str] | None = None,
+    max_offloaded: int | None = None,
+) -> list[OffloadedAlgorithm]:
+    """The full set ``A`` of equivalent algorithms for a chain on a platform.
+
+    Parameters
+    ----------
+    chain:
+        The scientific code.
+    platform:
+        The platform providing the candidate devices.
+    devices:
+        Restrict the candidate devices (defaults to every device of the platform,
+        host first -- giving the paper's ``D``/``A`` labels on the CPU+GPU platform).
+    max_offloaded:
+        If given, keep only placements that offload at most this many tasks away
+        from the host (granularity control).
+    """
+    aliases = list(devices) if devices is not None else platform.aliases
+    platform.validate_aliases(aliases)
+
+    predicate = None
+    if max_offloaded is not None:
+        if max_offloaded < 0:
+            raise ValueError("max_offloaded must be non-negative")
+        predicate = lambda p: p.n_offloaded(platform.host) <= max_offloaded  # noqa: E731
+
+    placements = enumerate_placements(len(chain), aliases, predicate)
+    return [OffloadedAlgorithm(chain=chain, placement=placement) for placement in placements]
+
+
+def sample_algorithms(
+    algorithms: Iterable[OffloadedAlgorithm],
+    k: int,
+    rng: np.random.Generator | int | None = None,
+    always_include: Sequence[str] = (),
+) -> list[OffloadedAlgorithm]:
+    """Sub-sample ``k`` algorithms from a (possibly huge) algorithm space.
+
+    The paper's conclusion notes that with an exponential number of equivalent
+    implementations the methodology "can still be applied on a subset of
+    possible solutions"; this helper draws such a subset uniformly at random
+    while optionally pinning some labels (e.g. the all-on-device baseline).
+    """
+    pool = list(algorithms)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > len(pool):
+        raise ValueError(f"cannot sample {k} algorithms from a space of {len(pool)}")
+    by_label = {algorithm.label: algorithm for algorithm in pool}
+    chosen: dict[str, OffloadedAlgorithm] = {}
+    for label in always_include:
+        if label not in by_label:
+            raise KeyError(f"label {label!r} is not in the algorithm space")
+        chosen[label] = by_label[label]
+    if len(chosen) > k:
+        raise ValueError("always_include contains more labels than the requested sample size")
+    generator = np.random.default_rng(rng)
+    remaining = [algorithm for algorithm in pool if algorithm.label not in chosen]
+    n_extra = k - len(chosen)
+    indices = generator.choice(len(remaining), size=n_extra, replace=False) if n_extra else []
+    for index in indices:
+        algorithm = remaining[int(index)]
+        chosen[algorithm.label] = algorithm
+    return list(chosen.values())

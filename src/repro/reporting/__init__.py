@@ -1,0 +1,25 @@
+"""Text reporting: ASCII histograms, cluster tables, CSV/Markdown export."""
+
+from .histograms import ascii_histogram, distribution_report, histogram_counts
+from .tables import (
+    cluster_table,
+    format_table,
+    measurement_summary_table,
+    score_table,
+    sort_trace_table,
+    to_csv,
+    to_markdown,
+)
+
+__all__ = [
+    "ascii_histogram",
+    "distribution_report",
+    "histogram_counts",
+    "format_table",
+    "cluster_table",
+    "score_table",
+    "measurement_summary_table",
+    "sort_trace_table",
+    "to_csv",
+    "to_markdown",
+]

@@ -1,0 +1,96 @@
+"""Text-mode histograms of measurement distributions (Figure 1b without matplotlib).
+
+The execution environment has no plotting stack, so the distributions of
+Figure 1b are rendered as aligned ASCII histograms: one row per bin, one block
+character per count.  This is enough to *see* which algorithms overlap and
+which are clearly separated, which is all the paper uses the figure for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import Label
+
+__all__ = ["histogram_counts", "ascii_histogram", "distribution_report"]
+
+
+def histogram_counts(
+    values: np.ndarray | Sequence[float],
+    bins: int = 20,
+    value_range: tuple[float, float] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram counts and bin edges (thin wrapper over :func:`numpy.histogram`)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must not be empty")
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    counts, edges = np.histogram(arr, bins=bins, range=value_range)
+    return counts, edges
+
+
+def ascii_histogram(
+    values: np.ndarray | Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    value_range: tuple[float, float] | None = None,
+    unit: str = "s",
+) -> str:
+    """Render one distribution as a multi-line ASCII histogram."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    counts, edges = histogram_counts(values, bins=bins, value_range=value_range)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{low:10.4g}, {high:10.4g}) {unit} |{bar:<{width}}| {count}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _LabelStats:
+    label: Label
+    mean: float
+    median: float
+    std: float
+
+
+def distribution_report(
+    measurements: Mapping[Label, np.ndarray],
+    bins: int = 20,
+    width: int = 40,
+    unit: str = "s",
+) -> str:
+    """Figure-1b-style report: per-algorithm ASCII histograms over a shared range.
+
+    All histograms share the same bin edges so that the overlap between the
+    distributions (the quantity the three-way comparison reasons about) is
+    visually comparable.
+    """
+    if not measurements:
+        raise ValueError("at least one algorithm is required")
+    arrays = {label: np.asarray(values, dtype=float) for label, values in measurements.items()}
+    lo = min(arr.min() for arr in arrays.values())
+    hi = max(arr.max() for arr in arrays.values())
+    if lo == hi:
+        hi = lo * (1 + 1e-9) + 1e-12
+    blocks: list[str] = []
+    stats = [
+        _LabelStats(label, float(a.mean()), float(np.median(a)), float(a.std()))
+        for label, a in arrays.items()
+    ]
+    header = "Algorithm   mean        median      std"
+    blocks.append(header)
+    for s in stats:
+        blocks.append(f"{str(s.label):<10}  {s.mean:<10.4g}  {s.median:<10.4g}  {s.std:<10.4g}")
+    blocks.append("")
+    for label, arr in arrays.items():
+        blocks.append(f"--- {label} (N={arr.size}) ---")
+        blocks.append(ascii_histogram(arr, bins=bins, width=width, value_range=(lo, hi), unit=unit))
+        blocks.append("")
+    return "\n".join(blocks).rstrip() + "\n"

@@ -1,0 +1,127 @@
+"""Table renderers: cluster tables (Table I), measurement summaries, CSV/Markdown export.
+
+Pure-text rendering with no third-party dependencies; every benchmark harness
+prints its paper artefact through one of these functions so the regenerated
+rows can be compared side by side with the published ones.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping, Sequence
+
+from ..core.scores import FinalClustering, ScoreTable
+from ..core.sorting import SortResult
+from ..measurement.dataset import MeasurementSet
+
+__all__ = [
+    "format_table",
+    "cluster_table",
+    "score_table",
+    "measurement_summary_table",
+    "sort_trace_table",
+    "to_csv",
+    "to_markdown",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], indent: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    header_list = [str(h) for h in headers]
+    row_list = [[("" if cell is None else str(cell)) for cell in row] for row in rows]
+    for row in row_list:
+        if len(row) != len(header_list):
+            raise ValueError("every row must have as many cells as there are headers")
+    widths = [len(h) for h in header_list]
+    for row in row_list:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        indent + "  ".join(h.ljust(w) for h, w in zip(header_list, widths)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for row in row_list:
+        lines.append(indent + "  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def cluster_table(clustering: FinalClustering, title: str = "Clustering of algorithms") -> str:
+    """Render a :class:`FinalClustering` in the layout of the paper's Table I."""
+    rows = []
+    for cluster, entries in clustering:
+        for i, entry in enumerate(entries):
+            rows.append((f"C{cluster}" if i == 0 else "", f"alg{entry.label}", f"{entry.score:.2f}"))
+    body = format_table(("Cluster", "Algorithm", "Relative Score"), rows)
+    return f"{title}\n{body}"
+
+
+def score_table(table: ScoreTable, title: str = "Relative scores per rank") -> str:
+    """Render a full :class:`ScoreTable` (every rank an algorithm ever obtained)."""
+    rows = []
+    for rank in table.ranks():
+        for i, entry in enumerate(table.entries(rank)):
+            rows.append((f"C{rank}" if i == 0 else "", f"alg{entry.label}", f"{entry.score:.2f}"))
+    body = format_table(("Rank", "Algorithm", "Relative Score"), rows)
+    return f"{title}\n{body}"
+
+
+def measurement_summary_table(measurements: MeasurementSet) -> str:
+    """Summary statistics of every algorithm's measurement distribution."""
+    rows = []
+    for summary in measurements.summaries():
+        rows.append(
+            (
+                str(summary.label),
+                summary.n,
+                f"{summary.mean:.6g}",
+                f"{summary.std:.3g}",
+                f"{summary.minimum:.6g}",
+                f"{summary.median:.6g}",
+                f"{summary.maximum:.6g}",
+            )
+        )
+    headers = ("Algorithm", "N", f"mean [{measurements.unit}]", "std", "min", "median", "max")
+    return format_table(headers, rows)
+
+
+def sort_trace_table(result: SortResult) -> str:
+    """Render the recorded bubble-sort steps (the Figure 2 walk-through)."""
+    rows = []
+    for i, step in enumerate(result.trace, start=1):
+        rows.append(
+            (
+                i,
+                step.pass_index,
+                f"{step.left} {step.outcome.symbol} {step.right}",
+                "swap" if step.swapped else "keep",
+                " ".join(str(label) for label in step.sequence_after),
+                " ".join(str(r) for r in step.ranks_after),
+            )
+        )
+    return format_table(("Step", "Pass", "Comparison", "Action", "Sequence", "Ranks"), rows)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Serialise rows to a CSV string (with header row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def to_markdown(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Serialise rows to a GitHub-flavoured markdown table."""
+    header_list = [str(h) for h in headers]
+    lines = [
+        "| " + " | ".join(header_list) + " |",
+        "| " + " | ".join("---" for _ in header_list) + " |",
+    ]
+    for row in rows:
+        cells = [("" if cell is None else str(cell)) for cell in row]
+        if len(cells) != len(header_list):
+            raise ValueError("every row must have as many cells as there are headers")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

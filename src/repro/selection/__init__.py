@@ -1,0 +1,21 @@
+"""Algorithm-selection policies built on top of the performance clusters (Section IV)."""
+
+from .decision import Decision, DecisionModel
+from .flops_budget import BudgetedSelection, FlopsBudgetSelector
+from .pareto import DEFAULT_CRITERIA, Criterion, dominates, pareto_front
+from .switching import EnergyAwareSwitcher, SwitchingPolicy, SwitchingStep, SwitchingTrace
+
+__all__ = [
+    "DecisionModel",
+    "Decision",
+    "FlopsBudgetSelector",
+    "BudgetedSelection",
+    "EnergyAwareSwitcher",
+    "SwitchingPolicy",
+    "SwitchingTrace",
+    "SwitchingStep",
+    "pareto_front",
+    "dominates",
+    "Criterion",
+    "DEFAULT_CRITERIA",
+]

@@ -1,0 +1,116 @@
+"""Cost/speed trade-off decision model (Section IV of the paper).
+
+Once the algorithms are clustered into performance classes, selecting one is a
+trade-off: the fastest class may require renting or powering an accelerator
+("there is an operating cost involved in executing the code on the
+accelerator"), whereas the all-on-device algorithm is free but slower.  The
+:class:`DecisionModel` scores every algorithm by a weighted combination of its
+expected execution time, its operating cost and (optionally) the confidence of
+its cluster assignment, and picks the best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.scores import FinalClustering
+from ..core.types import Label
+from ..offload.execution import AlgorithmProfile
+
+__all__ = ["DecisionModel", "Decision"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a decision-model evaluation."""
+
+    label: Label
+    objective: float
+    time_s: float
+    operating_cost: float
+    cluster: int
+    relative_score: float
+    #: Objective values of every candidate, for inspection / reporting.
+    objectives: Mapping[Label, float]
+
+    def summary(self) -> str:
+        return (
+            f"selected {self.label} (cluster C{self.cluster}, score {self.relative_score:.2f}): "
+            f"time {self.time_s * 1e3:.2f} ms, operating cost {self.operating_cost:.4g}, "
+            f"objective {self.objective:.4g}"
+        )
+
+
+@dataclass
+class DecisionModel:
+    """Select an algorithm by trading execution time against operating cost.
+
+    The objective minimised is::
+
+        objective(alg) = time(alg) + cost_weight * operating_cost(alg)
+                         + score_penalty * (1 - relative_score(alg))
+
+    * ``cost_weight`` converts the operating cost (e.g. dollars per run) into
+      seconds -- "the weight on the operating cost would depend on the
+      importance of speed-up for the application".  A latency-critical
+      application uses a small weight (every millisecond counts); a
+      cost-sensitive deployment uses a large one.
+    * ``score_penalty`` (seconds) discounts algorithms whose cluster
+      assignment has low confidence.
+    * ``restrict_to_clusters`` optionally limits the candidates to the given
+      performance classes (e.g. only the fastest class).
+    """
+
+    cost_weight: float = 0.0
+    score_penalty: float = 0.0
+    restrict_to_clusters: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cost_weight < 0:
+            raise ValueError("cost_weight must be non-negative")
+        if self.score_penalty < 0:
+            raise ValueError("score_penalty must be non-negative")
+
+    def objective(self, profile: AlgorithmProfile, relative_score: float) -> float:
+        """Objective value of one candidate (lower is better)."""
+        if not 0.0 <= relative_score <= 1.0:
+            raise ValueError("relative_score must lie in [0, 1]")
+        return (
+            profile.time_s
+            + self.cost_weight * profile.operating_cost
+            + self.score_penalty * (1.0 - relative_score)
+        )
+
+    def decide(
+        self,
+        clustering: FinalClustering,
+        profiles: Mapping[Label, AlgorithmProfile],
+    ) -> Decision:
+        """Pick the algorithm minimising the objective among the admissible candidates."""
+        candidates: list[Label] = []
+        for cluster, entries in clustering:
+            if self.restrict_to_clusters is not None and cluster not in self.restrict_to_clusters:
+                continue
+            candidates.extend(entry.label for entry in entries)
+        if not candidates:
+            raise ValueError("no candidate algorithms after cluster restriction")
+        missing = [label for label in candidates if label not in profiles]
+        if missing:
+            raise KeyError(f"missing profiles for algorithms {missing!r}")
+
+        objectives = {
+            label: self.objective(profiles[label], clustering.score_of(label))
+            for label in candidates
+        }
+        best = min(objectives, key=lambda label: (objectives[label], str(label)))
+        profile = profiles[best]
+        return Decision(
+            label=best,
+            objective=objectives[best],
+            time_s=profile.time_s,
+            operating_cost=profile.operating_cost,
+            cluster=clustering.cluster_of(best),
+            relative_score=clustering.score_of(best),
+            objectives=objectives,
+        )

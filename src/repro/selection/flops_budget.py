@@ -1,0 +1,120 @@
+"""FLOPs-budget selection: pick, within a performance class, the algorithm that
+keeps the edge device below a FLOP budget.
+
+Section IV: "One way to control the resource utilization on a device is by
+restricting the number of floating point operations (FLOPs) performed by the
+scientific code on that device."  Given the clustering and the per-algorithm
+FLOP attribution, this policy answers: *from the subset of equivalently fast
+algorithms, which one performs at most X FLOPs on the energy-constrained
+device?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.scores import FinalClustering
+from ..core.types import Label
+from ..offload.algorithm import OffloadedAlgorithm
+
+__all__ = ["FlopsBudgetSelector", "BudgetedSelection"]
+
+
+@dataclass(frozen=True)
+class BudgetedSelection:
+    """Result of a FLOPs-budget selection."""
+
+    label: Label
+    cluster: int
+    device_flops: float
+    budget: float
+    #: True when the selection had to fall back to a slower cluster to satisfy the budget.
+    degraded: bool
+
+    @property
+    def within_budget(self) -> bool:
+        return self.device_flops <= self.budget
+
+
+@dataclass
+class FlopsBudgetSelector:
+    """Select the fastest admissible algorithm under a per-device FLOP budget.
+
+    Parameters
+    ----------
+    device:
+        Alias of the budget-constrained device (typically the host/edge device).
+    budget_flops:
+        Maximum number of FLOPs the scientific code may execute on that device.
+    allow_degradation:
+        If True (default), when no algorithm of the fastest class satisfies the
+        budget the selector walks down the cluster hierarchy; if False it
+        raises instead.
+    """
+
+    device: str
+    budget_flops: float
+    allow_degradation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget_flops < 0:
+            raise ValueError("budget_flops must be non-negative")
+
+    def select(
+        self,
+        clustering: FinalClustering,
+        algorithms: Mapping[Label, OffloadedAlgorithm],
+    ) -> BudgetedSelection:
+        """Pick the algorithm: best cluster first, lowest device-FLOPs within a cluster."""
+        missing = [label for label in clustering.labels if label not in algorithms]
+        if missing:
+            raise KeyError(f"missing algorithm definitions for {missing!r}")
+
+        first_cluster = None
+        for cluster, entries in clustering:
+            if first_cluster is None:
+                first_cluster = cluster
+            admissible = [
+                (algorithms[entry.label].flops_on(self.device), str(entry.label), entry.label)
+                for entry in entries
+                if algorithms[entry.label].flops_on(self.device) <= self.budget_flops
+            ]
+            if admissible:
+                flops, _, label = min(admissible)
+                return BudgetedSelection(
+                    label=label,
+                    cluster=cluster,
+                    device_flops=flops,
+                    budget=self.budget_flops,
+                    degraded=cluster != first_cluster,
+                )
+            if not self.allow_degradation:
+                break
+
+        raise ValueError(
+            f"no algorithm keeps device {self.device!r} within a budget of {self.budget_flops:g} FLOPs"
+        )
+
+    def best_effort(
+        self,
+        clustering: FinalClustering,
+        algorithms: Mapping[Label, OffloadedAlgorithm],
+    ) -> BudgetedSelection:
+        """Like :meth:`select`, but if nothing satisfies the budget return the algorithm
+        of the best cluster with the fewest FLOPs on the device (flagged as over budget)."""
+        try:
+            return self.select(clustering, algorithms)
+        except ValueError:
+            best_cluster = min(cluster for cluster, _ in clustering)
+            entries = dict(iter(clustering))[best_cluster]
+            flops, _, label = min(
+                (algorithms[e.label].flops_on(self.device), str(e.label), e.label) for e in entries
+            )
+            return BudgetedSelection(
+                label=label,
+                cluster=best_cluster,
+                device_flops=flops,
+                budget=self.budget_flops,
+                degraded=False,
+            )

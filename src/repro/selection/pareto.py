@@ -1,0 +1,67 @@
+"""Multi-criteria (Pareto) view over the algorithm space.
+
+Algorithm selection on the edge is rarely single-objective: execution time,
+energy on the constrained device, data moved over the network and operating
+cost all matter.  :func:`pareto_front` extracts the non-dominated algorithms
+with respect to an arbitrary set of (minimised) criteria, which complements
+the cluster-based selection of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.types import Label
+from ..offload.execution import AlgorithmProfile
+
+__all__ = ["Criterion", "pareto_front", "dominates", "DEFAULT_CRITERIA"]
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """A named, minimised objective extracted from an :class:`AlgorithmProfile`."""
+
+    name: str
+    extract: Callable[[AlgorithmProfile], float]
+
+    def __call__(self, profile: AlgorithmProfile) -> float:
+        return float(self.extract(profile))
+
+
+#: Execution time, total energy and operating cost -- the three axes of Section IV.
+DEFAULT_CRITERIA: tuple[Criterion, ...] = (
+    Criterion("time_s", lambda p: p.time_s),
+    Criterion("energy_j", lambda p: p.energy_j),
+    Criterion("operating_cost", lambda p: p.operating_cost),
+)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if objective vector ``a`` dominates ``b`` (<= everywhere, < somewhere)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have the same length")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(
+    profiles: Mapping[Label, AlgorithmProfile],
+    criteria: Sequence[Criterion] = DEFAULT_CRITERIA,
+) -> dict[Label, dict[str, float]]:
+    """Non-dominated algorithms and their objective values.
+
+    Returns a mapping ``label -> {criterion name: value}`` containing only the
+    algorithms not dominated by any other algorithm.
+    """
+    if not profiles:
+        raise ValueError("at least one profile is required")
+    if not criteria:
+        raise ValueError("at least one criterion is required")
+    vectors = {
+        label: [criterion(profile) for criterion in criteria] for label, profile in profiles.items()
+    }
+    front: dict[Label, dict[str, float]] = {}
+    for label, vector in vectors.items():
+        if not any(dominates(other, vector) for other_label, other in vectors.items() if other_label != label):
+            front[label] = {criterion.name: value for criterion, value in zip(criteria, vector)}
+    return front

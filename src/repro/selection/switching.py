@@ -1,0 +1,172 @@
+"""Energy-aware algorithm switching (the duty-cycle scenario of Section IV).
+
+"Consider another application where it is ideal to run the whole code on the
+edge device (algDDD); however, the device cannot persistently handle all the
+computations because of energy constraints.  Therefore, in regular intervals,
+the amount of computations on the edge has to be reduced for a small period of
+time.  In such a case, one can switch to algDAA [...], as it offloads most of
+the computations to the accelerator, and then switch back to algDDD when the
+device cools down."
+
+:class:`EnergyAwareSwitcher` implements exactly that policy as a discrete
+simulation over successive invocations of the scientific code: the edge device
+accumulates an energy (thermal) budget while the preferred algorithm runs;
+when the accumulated energy crosses the threshold, the policy switches to the
+cool-down algorithm until the budget has drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.types import Label
+from ..offload.execution import AlgorithmProfile
+
+__all__ = ["SwitchingPolicy", "EnergyAwareSwitcher", "SwitchingTrace", "SwitchingStep"]
+
+
+@dataclass(frozen=True)
+class SwitchingStep:
+    """One invocation of the scientific code under the switching policy."""
+
+    index: int
+    algorithm: Label
+    device_energy_j: float
+    accumulated_j: float
+    execution_time_s: float
+    switched: bool
+
+
+@dataclass(frozen=True)
+class SwitchingTrace:
+    """Full trace of a switching simulation."""
+
+    steps: tuple[SwitchingStep, ...]
+    preferred: Label
+    cooldown: Label
+
+    @property
+    def n_invocations(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_switches(self) -> int:
+        return sum(1 for step in self.steps if step.switched)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(step.execution_time_s for step in self.steps)
+
+    @property
+    def total_device_energy_j(self) -> float:
+        return sum(step.device_energy_j for step in self.steps)
+
+    def usage_fraction(self, label: Label) -> float:
+        """Fraction of invocations executed with the given algorithm."""
+        if not self.steps:
+            return 0.0
+        return sum(1 for step in self.steps if step.algorithm == label) / len(self.steps)
+
+    @property
+    def peak_accumulated_j(self) -> float:
+        return max((step.accumulated_j for step in self.steps), default=0.0)
+
+
+@dataclass(frozen=True)
+class SwitchingPolicy:
+    """Static description of the duty-cycle policy."""
+
+    #: Algorithm to run while the device energy budget allows it (e.g. ``"DDD"``).
+    preferred: Label
+    #: Algorithm to run while the device cools down (e.g. ``"DAA"``).
+    cooldown: Label
+    #: Device whose energy is constrained (the edge device).
+    device: str
+    #: Accumulated device energy (J) at which the policy switches to the cool-down algorithm.
+    threshold_j: float
+    #: Energy (J) drained from the accumulator per invocation while cooling down
+    #: (passive dissipation in addition to the smaller active consumption).
+    dissipation_j_per_invocation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_j <= 0:
+            raise ValueError("threshold_j must be positive")
+        if self.dissipation_j_per_invocation < 0:
+            raise ValueError("dissipation_j_per_invocation must be non-negative")
+
+
+@dataclass
+class EnergyAwareSwitcher:
+    """Simulate the duty-cycle switching policy over repeated code invocations."""
+
+    policy: SwitchingPolicy
+    profiles: Mapping[Label, AlgorithmProfile] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label in (self.policy.preferred, self.policy.cooldown):
+            if label not in self.profiles:
+                raise KeyError(f"no profile provided for algorithm {label!r}")
+
+    def _device_energy(self, label: Label) -> float:
+        return self.profiles[label].device_energy(self.policy.device)
+
+    def simulate(self, n_invocations: int) -> SwitchingTrace:
+        """Run the policy for ``n_invocations`` invocations of the scientific code."""
+        if n_invocations <= 0:
+            raise ValueError("n_invocations must be positive")
+        steps: list[SwitchingStep] = []
+        accumulated = 0.0
+        cooling = False
+        for index in range(n_invocations):
+            switched = False
+            if not cooling and accumulated >= self.policy.threshold_j:
+                cooling = True
+                switched = True
+            elif cooling and accumulated <= 0.0:
+                cooling = False
+                switched = True
+            label = self.policy.cooldown if cooling else self.policy.preferred
+            profile = self.profiles[label]
+            device_energy = self._device_energy(label)
+            if cooling:
+                accumulated = max(
+                    0.0,
+                    accumulated + device_energy - self.policy.dissipation_j_per_invocation,
+                )
+            else:
+                accumulated += device_energy
+            steps.append(
+                SwitchingStep(
+                    index=index,
+                    algorithm=label,
+                    device_energy_j=device_energy,
+                    accumulated_j=accumulated,
+                    execution_time_s=profile.time_s,
+                    switched=switched,
+                )
+            )
+        return SwitchingTrace(
+            steps=tuple(steps), preferred=self.policy.preferred, cooldown=self.policy.cooldown
+        )
+
+    def compare_with_static(self, n_invocations: int) -> dict[str, dict[str, float]]:
+        """Compare the switching policy with running either algorithm statically.
+
+        Returns, for each strategy, the total execution time and the total
+        energy drawn from the constrained device.
+        """
+        trace = self.simulate(n_invocations)
+        out: dict[str, dict[str, float]] = {
+            "switching": {
+                "time_s": trace.total_time_s,
+                "device_energy_j": trace.total_device_energy_j,
+            }
+        }
+        for label in (self.policy.preferred, self.policy.cooldown):
+            profile = self.profiles[label]
+            out[f"static-{label}"] = {
+                "time_s": profile.time_s * n_invocations,
+                "device_energy_j": self._device_energy(label) * n_invocations,
+            }
+        return out

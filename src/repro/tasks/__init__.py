@@ -1,0 +1,49 @@
+"""Linear-algebra task substrate: MathTasks, task chains, FLOP accounting, workloads."""
+
+from .chain import TaskChain
+from .flops import (
+    cholesky_flops,
+    frobenius_norm_flops,
+    gemm_flops,
+    gemv_flops,
+    matrix_add_flops,
+    regularized_least_squares_flops,
+    spd_solve_flops,
+    syrk_flops,
+    triangular_solve_flops,
+)
+from .gemm import GemmLoopTask
+from .rls import RegularizedLeastSquaresTask
+from .task import FLOAT64_BYTES, MathTask, TaskCost
+from .workloads import (
+    WORKLOADS,
+    figure1_chain,
+    get_workload,
+    multiscale_chain,
+    object_detection_chain,
+    table1_chain,
+)
+
+__all__ = [
+    "MathTask",
+    "TaskCost",
+    "TaskChain",
+    "GemmLoopTask",
+    "RegularizedLeastSquaresTask",
+    "FLOAT64_BYTES",
+    "gemm_flops",
+    "gemv_flops",
+    "syrk_flops",
+    "cholesky_flops",
+    "triangular_solve_flops",
+    "spd_solve_flops",
+    "matrix_add_flops",
+    "frobenius_norm_flops",
+    "regularized_least_squares_flops",
+    "figure1_chain",
+    "table1_chain",
+    "multiscale_chain",
+    "object_detection_chain",
+    "WORKLOADS",
+    "get_workload",
+]

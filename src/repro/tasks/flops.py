@@ -1,0 +1,112 @@
+"""Floating-point operation counts for dense linear-algebra kernels.
+
+The paper uses the number of FLOPs an algorithm executes *on a particular
+device* as the proxy for that device's energy consumption (Section IV).  The
+formulas below are the standard dense-linear-algebra operation counts (see
+Golub & Van Loan); they are used both by the task models (to drive the device
+simulator) and by the FLOPs-budget selection policy.
+
+All counts are returned as floats to avoid integer overflow for large sizes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "gemm_flops",
+    "syrk_flops",
+    "gemv_flops",
+    "cholesky_flops",
+    "triangular_solve_flops",
+    "spd_solve_flops",
+    "matrix_add_flops",
+    "scalar_matrix_flops",
+    "frobenius_norm_flops",
+    "regularized_least_squares_flops",
+]
+
+
+def _check_positive(**dims: int) -> None:
+    for name, value in dims.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """C (m x n) = A (m x k) @ B (k x n): ``2 m n k`` flops."""
+    _check_positive(m=m, n=n, k=k)
+    return 2.0 * m * n * k
+
+
+def syrk_flops(n: int, k: int) -> float:
+    """Symmetric rank-k update C (n x n) = A^T A with A (k x n): ``n (n + 1) k`` flops."""
+    _check_positive(n=n, k=k)
+    return float(n) * (n + 1) * k
+
+
+def gemv_flops(m: int, n: int) -> float:
+    """Matrix-vector product y (m) = A (m x n) x: ``2 m n`` flops."""
+    _check_positive(m=m, n=n)
+    return 2.0 * m * n
+
+
+def cholesky_flops(n: int) -> float:
+    """Cholesky factorisation of an n x n SPD matrix: ``n^3 / 3`` flops (leading order)."""
+    _check_positive(n=n)
+    return n**3 / 3.0
+
+
+def triangular_solve_flops(n: int, nrhs: int) -> float:
+    """Triangular solve with ``nrhs`` right-hand sides: ``n^2 nrhs`` flops."""
+    _check_positive(n=n, nrhs=nrhs)
+    return float(n) * n * nrhs
+
+
+def spd_solve_flops(n: int, nrhs: int) -> float:
+    """Solve an SPD system for ``nrhs`` right-hand sides via Cholesky.
+
+    Factorisation (``n^3/3``) plus two triangular solves (``2 n^2 nrhs``).
+    """
+    return cholesky_flops(n) + 2.0 * triangular_solve_flops(n, nrhs)
+
+
+def matrix_add_flops(m: int, n: int) -> float:
+    """Entry-wise addition of two m x n matrices: ``m n`` flops."""
+    _check_positive(m=m, n=n)
+    return float(m) * n
+
+
+def scalar_matrix_flops(m: int, n: int) -> float:
+    """Scaling of an m x n matrix by a scalar: ``m n`` flops."""
+    _check_positive(m=m, n=n)
+    return float(m) * n
+
+
+def frobenius_norm_flops(m: int, n: int) -> float:
+    """Squared Frobenius norm of an m x n matrix: ``2 m n`` flops (square + accumulate)."""
+    _check_positive(m=m, n=n)
+    return 2.0 * m * n
+
+
+def regularized_least_squares_flops(size: int) -> float:
+    """FLOPs of one iteration of the paper's MathTask body (Procedure 6, line 4-5).
+
+    With square ``size x size`` matrices ``A`` and ``B``::
+
+        Z       = (A^T A + penalty * I)^-1 A^T B
+        penalty = || A Z - B ||^2
+
+    counted as: ``A^T A`` (syrk), the diagonal shift, ``A^T B`` (gemm), the SPD
+    solve with ``size`` right-hand sides, ``A Z`` (gemm), the residual
+    subtraction and the squared Frobenius norm.
+    """
+    _check_positive(size=size)
+    n = size
+    return (
+        syrk_flops(n, n)                     # A^T A
+        + n                                  # + penalty * I (diagonal only)
+        + gemm_flops(n, n, n)                # A^T B
+        + spd_solve_flops(n, n)              # (A^T A + pI)^-1 (A^T B)
+        + gemm_flops(n, n, n)                # A Z
+        + matrix_add_flops(n, n)             # A Z - B
+        + frobenius_norm_flops(n, n)         # ||.||^2
+    )

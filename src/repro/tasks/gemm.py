@@ -1,0 +1,108 @@
+"""Matrix-matrix multiplication loop task (the Figure 1 workload).
+
+Figure 1a of the paper shows a scientific code with two loops, each calling a
+matrix-matrix multiplication; offloading either loop to the accelerator gives
+the four algorithms DD / DA / AD / AA whose timing distributions appear in
+Figure 1b.  :class:`GemmLoopTask` models one such loop; it supports both
+square and rectangular products and can optionally require the product matrix
+to be shipped back to the host, which is what makes the *larger* multiplication
+of Figure 1 unattractive to offload ("the overhead caused by the larger
+data-movement between CPU and GPU is slightly more than the speed-up gain").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .flops import frobenius_norm_flops, gemm_flops
+from .task import FLOAT64_BYTES, MathTask, TaskCost
+
+__all__ = ["GemmLoopTask"]
+
+
+class GemmLoopTask(MathTask):
+    """A loop of ``iterations`` matrix-matrix multiplications ``C (m x n) = A (m x k) @ B (k x n)``.
+
+    Each iteration generates fresh input matrices, multiplies them and folds
+    the result into the scalar penalty (so that consecutive loops are
+    data-dependent, as required by the paper: "L2 cannot be executed before
+    the completion of L1").
+
+    Parameters
+    ----------
+    size:
+        Either a single integer (square ``size x size`` product) or a
+        ``(m, k, n)`` shape tuple.
+    iterations:
+        Number of multiplications in the loop.
+    name:
+        Task label (``"L1"``, ``"L2"``, ...).
+    generate_on_host:
+        If True (default), input matrices are considered to be produced on the
+        host/edge device and must be shipped to the accelerator when the loop
+        is offloaded.
+    return_product:
+        If True, the product matrix itself is a result consumed on the host
+        (e.g. fed to a downstream consumer there) and must be shipped back
+        when the loop is offloaded; otherwise only the scalar penalty returns.
+    """
+
+    def __init__(
+        self,
+        size: int | tuple[int, int, int],
+        iterations: int = 1,
+        name: str = "gemm",
+        generate_on_host: bool = True,
+        return_product: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if isinstance(size, (int, np.integer)):
+            shape = (int(size), int(size), int(size))
+        else:
+            shape = tuple(int(s) for s in size)
+            if len(shape) != 3:
+                raise ValueError("size must be an int or a (m, k, n) tuple")
+        if any(s <= 0 for s in shape):
+            raise ValueError("matrix dimensions must be positive")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.m, self.k, self.n = shape
+        self.iterations = int(iterations)
+        self.generate_on_host = generate_on_host
+        self.return_product = return_product
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(m, k, n)`` product shape."""
+        return (self.m, self.k, self.n)
+
+    def cost(self) -> TaskCost:
+        m, k, n = self.shape
+        per_iteration_flops = gemm_flops(m, n, k) + frobenius_norm_flops(m, n)
+        input_bytes_per_iteration = (m * k + k * n) * FLOAT64_BYTES
+        product_bytes = m * n * FLOAT64_BYTES
+        input_bytes = (
+            float(input_bytes_per_iteration * self.iterations)
+            if self.generate_on_host
+            else float(FLOAT64_BYTES)
+        )
+        output_bytes = (
+            float(product_bytes * self.iterations) if self.return_product else float(FLOAT64_BYTES)
+        )
+        return TaskCost(
+            flops=per_iteration_flops * self.iterations,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            working_set_bytes=float((m * k + k * n + m * n) * FLOAT64_BYTES),
+            kernel_calls=2 * self.iterations,
+        )
+
+    def run(self, penalty: float = 0.0, rng: np.random.Generator | None = None) -> float:
+        generator = rng if rng is not None else np.random.default_rng()
+        m, k, n = self.shape
+        for _ in range(self.iterations):
+            a = generator.standard_normal((m, k))
+            b = generator.standard_normal((k, n))
+            c = a @ b
+            penalty = float(np.linalg.norm(c) ** 2 / (m * n) + 1e-9 * penalty)
+        return penalty

@@ -1,0 +1,101 @@
+"""Task abstraction: the unit of work that can be placed on a device.
+
+A :class:`MathTask` is one "loop" of the paper's scientific code (Procedure 5):
+a block of dense linear algebra that must run entirely on one device and whose
+only inter-task dependency is a small scalar (the ``penalty``).  A task exposes
+
+* a **cost profile** (:class:`TaskCost`): FLOPs, bytes that must be shipped to
+  the executing device, bytes returned, and the number of kernel launches --
+  this is what the analytic device simulator consumes; and
+* an actual NumPy/SciPy implementation (:meth:`MathTask.run`) -- this is what
+  the host executor times for real measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TaskCost", "MathTask"]
+
+#: Bytes per double-precision floating point number.
+FLOAT64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Analytic cost profile of one task."""
+
+    #: Total floating point operations performed by the task.
+    flops: float
+    #: Bytes that must be present on the executing device before the task starts
+    #: (inputs generated or stored on the host device).
+    input_bytes: float
+    #: Bytes of results shipped back to the host device after the task ends.
+    output_bytes: float
+    #: Bytes the task touches in device memory while executing (drives the
+    #: memory-bound branch of the device roofline model).
+    working_set_bytes: float
+    #: Number of individual kernel launches (each pays a launch overhead on
+    #: accelerators; loops of small kernels are launch-bound on GPUs).
+    kernel_calls: int
+
+    def __post_init__(self) -> None:
+        for name in ("flops", "input_bytes", "output_bytes", "working_set_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.kernel_calls < 1:
+            raise ValueError("kernel_calls must be at least 1")
+
+    @property
+    def transferred_bytes(self) -> float:
+        """Total bytes crossing the interconnect when the task is offloaded."""
+        return self.input_bytes + self.output_bytes
+
+    def scaled(self, factor: float) -> "TaskCost":
+        """Cost of repeating the task ``factor`` times (kernel calls round up)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return TaskCost(
+            flops=self.flops * factor,
+            input_bytes=self.input_bytes * factor,
+            output_bytes=self.output_bytes * factor,
+            working_set_bytes=self.working_set_bytes,
+            kernel_calls=max(1, int(round(self.kernel_calls * factor))),
+        )
+
+
+class MathTask(abc.ABC):
+    """One loop of the scientific code: runs on exactly one device.
+
+    Subclasses must provide a :meth:`cost` profile and a :meth:`run`
+    implementation.  ``run`` takes the scalar ``penalty`` produced by the
+    previous task and returns the updated penalty, mirroring Procedure 6.
+    """
+
+    #: Human-readable task name (e.g. ``"L1"``).
+    name: str
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("task name must be non-empty")
+        self.name = name
+
+    @abc.abstractmethod
+    def cost(self) -> TaskCost:
+        """Analytic cost profile of the task."""
+
+    @abc.abstractmethod
+    def run(self, penalty: float = 0.0, rng: np.random.Generator | None = None) -> float:
+        """Execute the task with NumPy/SciPy and return the updated penalty."""
+
+    # Convenience accessors -------------------------------------------------
+    @property
+    def flops(self) -> float:
+        """Total FLOPs of the task (shortcut for ``cost().flops``)."""
+        return self.cost().flops
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,125 @@
+"""Named workloads: the paper's experiments plus extra application-flavoured chains.
+
+Each factory returns a :class:`~repro.tasks.chain.TaskChain` ready to be
+enumerated over devices and measured.  The two paper workloads are
+
+* :func:`figure1_chain` -- two GEMM loops (small L1, large L2), the example of
+  Figure 1a/1b;
+* :func:`table1_chain`  -- three Regularised Least Squares MathTasks with sizes
+  50, 75 and 300 (Procedure 5), the workload behind Table I.
+
+The remaining factories model the application scenarios the introduction
+motivates (multi-scale digital twins, hierarchical object detection) so the
+examples exercise the public API on realistic shapes.
+"""
+
+from __future__ import annotations
+
+from .chain import TaskChain
+from .gemm import GemmLoopTask
+from .rls import RegularizedLeastSquaresTask
+
+__all__ = [
+    "figure1_chain",
+    "table1_chain",
+    "multiscale_chain",
+    "object_detection_chain",
+    "WORKLOADS",
+    "get_workload",
+]
+
+
+def figure1_chain(
+    small: int = 1200,
+    large: int = 4096,
+    inner: int = 88,
+    iterations: int = 4,
+) -> TaskChain:
+    """The two-loop GEMM code of Figure 1a.
+
+    ``L1`` is a loop of compact square multiplications (high arithmetic
+    intensity, little data per FLOP), ``L2`` a loop of *larger* but
+    low-intensity multiplications (``large x inner`` times ``inner x large``)
+    whose big product matrices are consumed on the edge device.  On the
+    simulated CPU+GPU platform this reproduces the Figure 1b shape: the
+    accelerator speeds up L1 enough to amortise its transfers, whereas L2's
+    much larger data movement roughly cancels its speed-up gain -- so ``AD``
+    (only L1 offloaded) wins and ``DD`` / ``DA`` are equivalent.
+    """
+    return TaskChain(
+        [
+            GemmLoopTask(size=small, iterations=iterations, name="L1"),
+            GemmLoopTask(
+                size=(large, inner, large),
+                iterations=iterations,
+                name="L2",
+                return_product=True,
+            ),
+        ],
+        name="figure1-gemm-code",
+    )
+
+
+def table1_chain(loop_size: int = 10) -> TaskChain:
+    """The three-MathTask Regularised Least Squares code of Procedure 5 (sizes 50/75/300)."""
+    return TaskChain(
+        [
+            RegularizedLeastSquaresTask(size=50, iterations=loop_size, name="L1"),
+            RegularizedLeastSquaresTask(size=75, iterations=loop_size, name="L2"),
+            RegularizedLeastSquaresTask(size=300, iterations=loop_size, name="L3"),
+        ],
+        name="table1-rls-code",
+    )
+
+
+def multiscale_chain(scales: tuple[int, ...] = (40, 80, 160, 320), iterations: int = 6) -> TaskChain:
+    """A multi-scale modelling hierarchy: one RLS solve per scale, coarse to fine.
+
+    Models the digital-twin scenario of Section I: each scale's result
+    (penalty) parameterises the next, finer simulation.
+    """
+    if len(scales) < 2:
+        raise ValueError("a multi-scale hierarchy needs at least two scales")
+    tasks = [
+        RegularizedLeastSquaresTask(size=size, iterations=iterations, name=f"scale{i + 1}")
+        for i, size in enumerate(scales)
+    ]
+    return TaskChain(tasks, name="multiscale-digital-twin")
+
+
+def object_detection_chain(
+    low_fidelity: int = 96,
+    high_fidelity: int = 768,
+    frames: int = 4,
+) -> TaskChain:
+    """Hierarchical object detection: a cheap low-fidelity pass and an expensive refinement.
+
+    The on-board detector (small GEMM loop per frame) must stay responsive,
+    while the high-fidelity correction pass (large GEMM loop) can be offloaded;
+    this mirrors the YOLO/SSD scenario of Section I.
+    """
+    return TaskChain(
+        [
+            GemmLoopTask(size=low_fidelity, iterations=frames, name="detect"),
+            GemmLoopTask(size=high_fidelity, iterations=frames, name="refine"),
+        ],
+        name="hierarchical-object-detection",
+    )
+
+
+#: Registry of named workloads used by the experiment harness and the examples.
+WORKLOADS = {
+    "figure1": figure1_chain,
+    "table1": table1_chain,
+    "multiscale": multiscale_chain,
+    "object-detection": object_detection_chain,
+}
+
+
+def get_workload(name: str, **kwargs) -> TaskChain:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from exc
+    return factory(**kwargs)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BootstrapComparator, Comparison, PairwiseOracle
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def figure2_oracle() -> PairwiseOracle:
+    """Pairwise outcomes consistent with Figure 1b / Figure 2 of the paper.
+
+    ``AD`` beats everything, ``AA`` beats ``DD`` and ``DA``, and ``DD`` is
+    equivalent to ``DA``.
+    """
+    return PairwiseOracle(
+        {
+            ("AD", "DD"): Comparison.BETTER,
+            ("AD", "DA"): Comparison.BETTER,
+            ("AD", "AA"): Comparison.BETTER,
+            ("AA", "DD"): Comparison.BETTER,
+            ("AA", "DA"): Comparison.BETTER,
+            ("DD", "DA"): Comparison.EQUIVALENT,
+        }
+    )
+
+
+@pytest.fixture
+def well_separated_measurements(rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """Four algorithms with clearly distinct performance levels (no overlap)."""
+    return {
+        "fast": rng.normal(1.0, 0.01, size=60),
+        "medium": rng.normal(2.0, 0.02, size=60),
+        "slow": rng.normal(4.0, 0.04, size=60),
+        "slowest": rng.normal(8.0, 0.08, size=60),
+    }
+
+
+@pytest.fixture
+def overlapping_measurements(rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """Two indistinguishable algorithms plus one clearly faster one."""
+    return {
+        "twin_a": rng.normal(2.0, 0.2, size=80),
+        "twin_b": rng.normal(2.02, 0.2, size=80),
+        "fast": rng.normal(1.0, 0.05, size=80),
+    }
+
+
+@pytest.fixture
+def bootstrap_comparator() -> BootstrapComparator:
+    return BootstrapComparator(seed=7, n_resamples=150)

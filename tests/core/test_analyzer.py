@@ -1,0 +1,108 @@
+"""Tests for the high-level RelativePerformanceAnalyzer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeanComparator,
+    RelativePerformanceAnalyzer,
+)
+
+
+class TestConstruction:
+    def test_default_comparator_is_bootstrap(self):
+        from repro.core import BootstrapComparator
+
+        analyzer = RelativePerformanceAnalyzer(seed=3)
+        assert isinstance(analyzer.comparator, BootstrapComparator)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            RelativePerformanceAnalyzer(repetitions=0)
+
+    def test_invalid_comparator(self):
+        with pytest.raises(TypeError):
+            RelativePerformanceAnalyzer(comparator="not a comparator")
+
+
+class TestAnalyze:
+    def test_well_separated_algorithms_get_distinct_clusters(self, well_separated_measurements):
+        analyzer = RelativePerformanceAnalyzer(seed=0, repetitions=30)
+        result = analyzer.analyze(well_separated_measurements)
+        assert result.n_clusters == 4
+        assert result.cluster_of("fast") == 1
+        assert result.cluster_of("slowest") == 4
+        assert result.best_algorithms() == ["fast"]
+
+    def test_overlapping_algorithms_share_a_cluster(self, overlapping_measurements):
+        analyzer = RelativePerformanceAnalyzer(seed=0, repetitions=30)
+        result = analyzer.analyze(overlapping_measurements)
+        assert result.cluster_of("twin_a") == result.cluster_of("twin_b")
+        assert result.cluster_of("fast") == 1
+
+    def test_result_is_reproducible_with_same_seed(self, overlapping_measurements):
+        a = RelativePerformanceAnalyzer(seed=5, repetitions=20).analyze(overlapping_measurements)
+        b = RelativePerformanceAnalyzer(seed=5, repetitions=20).analyze(overlapping_measurements)
+        assert a.score_table == b.score_table
+        assert a.final.as_dict() == b.final.as_dict()
+
+    def test_accepts_lists_and_object_with_as_dict(self):
+        class FakeMeasurementSet:
+            def as_dict(self):
+                return {"x": [1.0, 1.1, 0.9], "y": [3.0, 3.1, 2.9]}
+
+        analyzer = RelativePerformanceAnalyzer(seed=0, repetitions=10)
+        result = analyzer.analyze(FakeMeasurementSet())
+        assert result.cluster_of("x") == 1
+
+    def test_summary_has_table_header_and_all_algorithms(self, well_separated_measurements):
+        analyzer = RelativePerformanceAnalyzer(seed=0, repetitions=10)
+        result = analyzer.analyze(well_separated_measurements)
+        text = result.summary()
+        assert "Cluster" in text and "Relative Score" in text
+        for label in well_separated_measurements:
+            assert label in text
+
+    def test_cluster_alias(self, well_separated_measurements):
+        analyzer = RelativePerformanceAnalyzer(seed=0, repetitions=5)
+        assert analyzer.cluster(well_separated_measurements).n_clusters == 4
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ValueError):
+            RelativePerformanceAnalyzer().analyze({})
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            RelativePerformanceAnalyzer().analyze({"a": []})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError):
+            RelativePerformanceAnalyzer().analyze([1.0, 2.0])
+
+
+class TestRankOnce:
+    def test_respects_requested_order_and_traces(self, well_separated_measurements):
+        analyzer = RelativePerformanceAnalyzer(comparator=MeanComparator(), repetitions=1)
+        result = analyzer.rank_once(
+            well_separated_measurements,
+            order=["slowest", "slow", "medium", "fast"],
+            record_trace=True,
+        )
+        assert result.sequence == ("fast", "medium", "slow", "slowest")
+        assert len(result.trace) == result.n_comparisons > 0
+
+    def test_unknown_label_in_order_raises(self, well_separated_measurements):
+        analyzer = RelativePerformanceAnalyzer(repetitions=1)
+        with pytest.raises(KeyError):
+            analyzer.rank_once(well_separated_measurements, order=["fast", "nope"])
+
+
+class TestScore:
+    def test_score_table_covers_all_algorithms(self, overlapping_measurements):
+        analyzer = RelativePerformanceAnalyzer(seed=1, repetitions=25)
+        table = analyzer.score(overlapping_measurements)
+        assert set(table.labels) == set(overlapping_measurements)
+        for label in overlapping_measurements:
+            assert table.total_score(label) == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Tests for the vectorised bootstrap utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BootstrapInterval,
+    bootstrap_indices,
+    bootstrap_quantiles,
+    bootstrap_samples,
+    bootstrap_statistic,
+    percentile_interval,
+)
+
+
+class TestBootstrapIndices:
+    def test_shape(self, rng):
+        idx = bootstrap_indices(10, 50, rng)
+        assert idx.shape == (50, 10)
+
+    def test_values_within_range(self, rng):
+        idx = bootstrap_indices(7, 200, rng)
+        assert idx.min() >= 0
+        assert idx.max() < 7
+
+    @pytest.mark.parametrize("n,n_resamples", [(0, 5), (5, 0), (-1, 5)])
+    def test_invalid_arguments_raise(self, rng, n, n_resamples):
+        with pytest.raises(ValueError):
+            bootstrap_indices(n, n_resamples, rng)
+
+
+class TestBootstrapSamples:
+    def test_resamples_only_original_values(self, rng):
+        data = np.array([1.0, 2.0, 3.0])
+        samples = bootstrap_samples(data, 100, rng)
+        assert set(np.unique(samples)).issubset(set(data))
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_samples(np.array([]), 10, rng)
+
+    def test_rejects_nan(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_samples(np.array([1.0, np.nan]), 10, rng)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_samples(np.ones((2, 2)), 10, rng)
+
+
+class TestBootstrapStatistic:
+    def test_mean_statistic_centres_on_sample_mean(self, rng):
+        data = rng.normal(5.0, 1.0, size=200)
+        means = bootstrap_statistic(data, lambda m: np.mean(m, axis=-1), 500, rng)
+        assert means.shape == (500,)
+        assert abs(np.mean(means) - np.mean(data)) < 0.1
+
+    def test_statistic_must_keep_resample_axis(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_statistic(np.arange(10.0), lambda m: np.mean(m), 50, rng)
+
+
+class TestBootstrapQuantiles:
+    def test_shape(self, rng):
+        data = rng.normal(size=50)
+        q = bootstrap_quantiles(data, [0.25, 0.5, 0.75], 120, rng)
+        assert q.shape == (120, 3)
+
+    def test_rows_are_monotone_in_quantile_level(self, rng):
+        data = rng.normal(size=80)
+        q = bootstrap_quantiles(data, [0.1, 0.5, 0.9], 100, rng)
+        assert np.all(q[:, 0] <= q[:, 1])
+        assert np.all(q[:, 1] <= q[:, 2])
+
+    def test_invalid_quantiles_raise(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_quantiles(np.arange(5.0), [1.5], 10, rng)
+        with pytest.raises(ValueError):
+            bootstrap_quantiles(np.arange(5.0), [], 10, rng)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_data_gives_constant_quantiles(self, n):
+        rng = np.random.default_rng(0)
+        data = np.full(n, 3.5)
+        q = bootstrap_quantiles(data, [0.2, 0.8], 30, rng)
+        assert np.allclose(q, 3.5)
+
+
+class TestPercentileInterval:
+    def test_contains_bulk_of_samples(self, rng):
+        samples = rng.normal(0.0, 1.0, size=2000)
+        interval = percentile_interval(samples, confidence=0.9)
+        inside = np.mean((samples >= interval.low) & (samples <= interval.high))
+        assert 0.88 <= inside <= 0.92
+
+    def test_interval_ordering_and_width(self, rng):
+        interval = percentile_interval(rng.normal(size=100), confidence=0.5)
+        assert interval.low <= interval.high
+        assert interval.width == pytest.approx(interval.high - interval.low)
+
+    def test_overlap_detection(self):
+        a = BootstrapInterval(0.0, 1.0, 0.95)
+        b = BootstrapInterval(0.5, 2.0, 0.95)
+        c = BootstrapInterval(1.5, 2.5, 0.95)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_contains(self):
+        interval = BootstrapInterval(1.0, 2.0, 0.95)
+        assert interval.contains(1.5)
+        assert not interval.contains(2.5)
+
+    def test_invalid_confidence_raises(self, rng):
+        with pytest.raises(ValueError):
+            percentile_interval(rng.normal(size=10), confidence=1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_resamples(self):
+        data = np.arange(20.0)
+        a = bootstrap_samples(data, 50, np.random.default_rng(3))
+        b = bootstrap_samples(data, 50, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,134 @@
+"""Tests for ScoreTable and FinalClustering containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterEntry, FinalClustering, ScoreTable, make_final_clustering
+
+
+# The relative scores of the Section III illustration (N = 30 measurements).
+SECTION3_SCORES = {
+    1: {"AD": 1.0, "AA": 0.3},
+    2: {"AA": 0.7, "DD": 0.3, "DA": 0.3},
+    3: {"DD": 0.7, "DA": 0.6},
+    4: {"DA": 0.1},
+}
+
+
+@pytest.fixture
+def section3_table() -> ScoreTable:
+    return ScoreTable(SECTION3_SCORES)
+
+
+class TestClusterEntry:
+    def test_score_bounds(self):
+        ClusterEntry("x", 0.0)
+        ClusterEntry("x", 1.0)
+        with pytest.raises(ValueError):
+            ClusterEntry("x", 1.5)
+        with pytest.raises(ValueError):
+            ClusterEntry("x", -0.1)
+
+
+class TestScoreTable:
+    def test_basic_accessors(self, section3_table):
+        assert section3_table.n_ranks == 4
+        assert section3_table.ranks() == [1, 2, 3, 4]
+        assert section3_table.score("AA", 1) == pytest.approx(0.3)
+        assert section3_table.score("AA", 4) == 0.0
+        assert set(section3_table.labels) == {"AD", "AA", "DD", "DA"}
+
+    def test_entries_sorted_by_score(self, section3_table):
+        entries = section3_table.entries(2)
+        assert entries[0].label == "AA"
+        assert [e.label for e in entries[1:]] == ["DA", "DD"] or [
+            e.label for e in entries[1:]
+        ] == ["DD", "DA"]
+
+    def test_scores_of(self, section3_table):
+        assert section3_table.scores_of("DA") == pytest.approx({2: 0.3, 3: 0.6, 4: 0.1})
+
+    def test_total_score_sums_to_one_for_procedure4_output(self, section3_table):
+        for label in section3_table.labels:
+            assert section3_table.total_score(label) == pytest.approx(1.0)
+
+    def test_cumulative_score_matches_paper_example(self, section3_table):
+        # algDA: rank 3 score 0.6 cumulated with rank 2 score 0.3 -> 0.9
+        assert section3_table.cumulative_score("DA", 3) == pytest.approx(0.9)
+        assert section3_table.cumulative_score("AA", 2) == pytest.approx(1.0)
+
+    def test_argmax_rank_matches_paper_example(self, section3_table):
+        assert section3_table.argmax_rank("AD") == 1
+        assert section3_table.argmax_rank("AA") == 2
+        assert section3_table.argmax_rank("DD") == 3
+        assert section3_table.argmax_rank("DA") == 3
+
+    def test_argmax_rank_tie_prefers_better_rank(self):
+        table = ScoreTable({1: {"x": 0.5}, 2: {"x": 0.5}})
+        assert table.argmax_rank("x") == 1
+
+    def test_best_rank(self, section3_table):
+        assert section3_table.best_rank("DA") == 2
+        with pytest.raises(KeyError):
+            section3_table.best_rank("nope")
+
+    def test_mapping_protocol(self, section3_table):
+        assert 1 in section3_table
+        assert 9 not in section3_table
+        assert len(section3_table) == 4
+        assert list(iter(section3_table)) == [1, 2, 3, 4]
+        assert section3_table[1] == {"AD": 1.0, "AA": 0.3}
+
+    def test_to_rows_is_flat_and_ordered(self, section3_table):
+        rows = section3_table.to_rows()
+        assert rows[0] == (1, "AD", 1.0)
+        assert len(rows) == 8
+
+    def test_equality_and_as_dict_roundtrip(self, section3_table):
+        assert ScoreTable(section3_table.as_dict()) == section3_table
+
+    def test_invalid_scores_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreTable({1: {"x": 1.2}})
+        with pytest.raises(ValueError):
+            ScoreTable({0: {"x": 0.5}})
+
+
+class TestFinalClustering:
+    def test_make_final_clustering_renumbers_consecutively(self):
+        clustering = make_final_clustering(
+            {2: [ClusterEntry("b", 0.9)], 5: [ClusterEntry("c", 0.8)], 1: [ClusterEntry("a", 1.0)]}
+        )
+        assert sorted(clustering.clusters) == [1, 2, 3]
+        assert clustering.cluster_of("a") == 1
+        assert clustering.cluster_of("b") == 2
+        assert clustering.cluster_of("c") == 3
+
+    def test_empty_clusters_dropped(self):
+        clustering = make_final_clustering({1: [ClusterEntry("a", 1.0)], 2: []})
+        assert clustering.n_clusters == 1
+
+    def test_accessors(self):
+        clustering = make_final_clustering(
+            {1: [ClusterEntry("a", 1.0), ClusterEntry("b", 0.6)], 2: [ClusterEntry("c", 0.9)]}
+        )
+        assert clustering.members(1) == ["a", "b"]
+        assert clustering.best_cluster() == ["a", "b"]
+        assert clustering.score_of("c") == pytest.approx(0.9)
+        assert clustering.ordered_labels() == ["a", "b", "c"]
+        assert set(clustering.labels) == {"a", "b", "c"}
+        assert clustering.as_dict() == {1: {"a": 1.0, "b": 0.6}, 2: {"c": 0.9}}
+
+    def test_unknown_label_raises(self):
+        clustering = make_final_clustering({1: [ClusterEntry("a", 1.0)]})
+        with pytest.raises(KeyError):
+            clustering.cluster_of("zzz")
+        with pytest.raises(KeyError):
+            clustering.score_of("zzz")
+
+    def test_iteration_yields_sorted_clusters(self):
+        clustering = make_final_clustering(
+            {1: [ClusterEntry("a", 1.0)], 2: [ClusterEntry("b", 1.0)]}
+        )
+        assert [cluster for cluster, _ in clustering] == [1, 2]

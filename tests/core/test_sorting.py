@@ -1,0 +1,227 @@
+"""Tests for the three-way bubble sort (Procedures 1-3), including the paper's Figure 2 trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Comparison,
+    ComparisonCounter,
+    MeanComparator,
+    PairwiseOracle,
+    bind_comparator,
+    ranks_are_valid,
+    three_way_bubble_sort,
+)
+
+
+class TestPaperWorkedExample:
+    """Reproduce the Figure 2 walk-through exactly."""
+
+    INITIAL_ORDER = ["DD", "AA", "DA", "AD"]
+
+    def test_paper_worked_example_final_sequence(self, figure2_oracle):
+        result = three_way_bubble_sort(self.INITIAL_ORDER, figure2_oracle)
+        assert result.pairs() == [("AD", 1), ("AA", 2), ("DD", 3), ("DA", 3)]
+
+    def test_paper_worked_example_number_of_classes(self, figure2_oracle):
+        result = three_way_bubble_sort(self.INITIAL_ORDER, figure2_oracle)
+        assert result.n_classes == 3
+        assert result.clusters() == {1: ["AD"], 2: ["AA"], 3: ["DD", "DA"]}
+
+    def test_paper_worked_example_intermediate_steps(self, figure2_oracle):
+        """The four steps discussed in Section III appear in the trace in order."""
+        result = three_way_bubble_sort(self.INITIAL_ORDER, figure2_oracle, record_trace=True)
+        trace = result.trace
+
+        # Step 1: DD is worse than AA and the two swap positions.
+        step1 = trace[0]
+        assert (step1.left, step1.right) == ("DD", "AA")
+        assert step1.outcome is Comparison.WORSE and step1.swapped
+        assert step1.sequence_after[:2] == ("AA", "DD")
+        assert step1.ranks_after == (1, 2, 3, 4)
+
+        # Step 2: DD ~ DA, ranks of the successors are decreased by one.
+        step2 = trace[1]
+        assert (step2.left, step2.right) == ("DD", "DA")
+        assert step2.outcome is Comparison.EQUIVALENT and not step2.swapped
+        assert step2.ranks_after == (1, 2, 2, 3)
+
+        # Step 3: DA < AD, swap; AD joins the rank-2 class and DA's rank drops to 2.
+        step3 = trace[2]
+        assert (step3.left, step3.right) == ("DA", "AD")
+        assert step3.swapped
+        assert step3.sequence_after == ("AA", "DD", "AD", "DA")
+        assert step3.ranks_after == (1, 2, 2, 2)
+
+        # Step 4 of the paper (second pass, positions 2/3): AD defeats DD and is
+        # promoted above its class: successors pushed to rank 3.
+        step4 = next(
+            s for s in trace if s.pass_index == 2 and (s.left, s.right) == ("DD", "AD")
+        )
+        assert step4.swapped
+        assert step4.sequence_after == ("AA", "AD", "DD", "DA")
+        assert step4.ranks_after == (1, 2, 3, 3)
+
+    def test_trace_disabled_by_default(self, figure2_oracle):
+        result = three_way_bubble_sort(self.INITIAL_ORDER, figure2_oracle)
+        assert result.trace == ()
+
+    def test_comparison_count_is_quadratic(self, figure2_oracle):
+        counter = ComparisonCounter(figure2_oracle)
+        result = three_way_bubble_sort(self.INITIAL_ORDER, counter)
+        assert result.n_comparisons == counter.calls == 3 + 2 + 1
+
+    def test_step_describe_mentions_outcome_symbol(self, figure2_oracle):
+        result = three_way_bubble_sort(self.INITIAL_ORDER, figure2_oracle, record_trace=True)
+        assert "~" in result.trace[1].describe()
+
+
+class TestSortResult:
+    def test_rank_of_and_mapping(self, figure2_oracle):
+        result = three_way_bubble_sort(["DD", "AA", "DA", "AD"], figure2_oracle)
+        assert result.rank_of("AD") == 1
+        assert result.as_mapping()["DA"] == 3
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.core.sorting import SortResult
+
+        with pytest.raises(ValueError):
+            SortResult(sequence=("a",), ranks=(1, 2))
+
+
+class TestSortBehaviour:
+    def test_duplicate_labels_rejected(self, figure2_oracle):
+        with pytest.raises(ValueError):
+            three_way_bubble_sort(["DD", "DD"], figure2_oracle)
+
+    def test_single_algorithm(self):
+        oracle = PairwiseOracle({})
+        result = three_way_bubble_sort(["only"], oracle)
+        assert result.pairs() == [("only", 1)]
+        assert result.n_comparisons == 0
+
+    def test_all_equivalent_collapse_to_one_class(self):
+        oracle = PairwiseOracle({}, default=Comparison.EQUIVALENT)
+        result = three_way_bubble_sort(list("abcde"), oracle)
+        assert result.n_classes == 1
+        assert set(result.ranks) == {1}
+
+    def test_strict_total_order_gives_distinct_classes(self):
+        # value order: a < b < c < d (smaller value = better)
+        values = {"a": 1, "b": 2, "c": 3, "d": 4}
+
+        def compare(x, y):
+            if values[x] == values[y]:
+                return Comparison.EQUIVALENT
+            return Comparison.BETTER if values[x] < values[y] else Comparison.WORSE
+
+        result = three_way_bubble_sort(["d", "b", "a", "c"], compare)
+        assert result.sequence == ("a", "b", "c", "d")
+        assert result.ranks == (1, 2, 3, 4)
+
+    def test_reverse_sorted_input(self):
+        values = {"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+
+        def compare(x, y):
+            return Comparison.BETTER if values[x] < values[y] else Comparison.WORSE
+
+        result = three_way_bubble_sort(["e", "d", "c", "b", "a"], compare)
+        assert result.sequence == ("a", "b", "c", "d", "e")
+
+    def test_non_comparison_return_raises(self):
+        def bad_compare(a, b):
+            return "better"
+
+        with pytest.raises(TypeError):
+            three_way_bubble_sort(["x", "y"], bad_compare)
+
+    def test_with_measurement_backed_comparator(self, well_separated_measurements):
+        compare = bind_comparator(MeanComparator(), well_separated_measurements)
+        result = three_way_bubble_sort(list(well_separated_measurements), compare)
+        assert result.sequence == ("fast", "medium", "slow", "slowest")
+        assert result.ranks == (1, 2, 3, 4)
+
+
+class TestRankInvariants:
+    def test_ranks_are_valid_helper(self):
+        assert ranks_are_valid([1, 1, 2, 3, 3])
+        assert ranks_are_valid([])
+        assert ranks_are_valid([1])
+        assert not ranks_are_valid([2, 3])
+        assert not ranks_are_valid([1, 3])
+        assert not ranks_are_valid([1, 1, 0])
+
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_staircase_invariant_under_random_comparisons(self, n, seed):
+        """Whatever the (even inconsistent) comparator does, ranks stay a valid staircase
+        and the result is a permutation of the input."""
+        rng = np.random.default_rng(seed)
+        labels = [f"alg{i}" for i in range(n)]
+        outcomes = list(Comparison)
+
+        def random_compare(a, b):
+            return outcomes[rng.integers(0, 3)]
+
+        result = three_way_bubble_sort(labels, random_compare)
+        assert sorted(result.sequence, key=str) == sorted(labels, key=str)
+        assert ranks_are_valid(result.ranks)
+        assert 1 <= result.n_classes <= n
+
+    @given(
+        n=st.integers(min_value=2, max_value=7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_consistent_total_order_is_always_recovered(self, n, seed):
+        """With a noise-free strict order the sort recovers it regardless of the input permutation."""
+        rng = np.random.default_rng(seed)
+        labels = [f"alg{i}" for i in range(n)]
+        values = {label: i for i, label in enumerate(labels)}
+
+        def compare(a, b):
+            if values[a] == values[b]:
+                return Comparison.EQUIVALENT
+            return Comparison.BETTER if values[a] < values[b] else Comparison.WORSE
+
+        shuffled = list(labels)
+        rng.shuffle(shuffled)
+        result = three_way_bubble_sort(shuffled, compare)
+        assert list(result.sequence) == labels
+        assert result.ranks == tuple(range(1, n + 1))
+
+    @given(
+        n=st.integers(min_value=2, max_value=7),
+        n_classes=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grouped_order_recovers_classes(self, n, n_classes, seed):
+        """With a consistent weak order (ties allowed) the sort groups equivalent algorithms."""
+        rng = np.random.default_rng(seed)
+        labels = [f"alg{i}" for i in range(n)]
+        classes = {label: int(rng.integers(0, n_classes)) for label in labels}
+
+        def compare(a, b):
+            if classes[a] == classes[b]:
+                return Comparison.EQUIVALENT
+            return Comparison.BETTER if classes[a] < classes[b] else Comparison.WORSE
+
+        shuffled = list(labels)
+        rng.shuffle(shuffled)
+        result = three_way_bubble_sort(shuffled, compare)
+        mapping = result.as_mapping()
+        # Same class -> same rank; better class -> strictly better rank.
+        for a in labels:
+            for b in labels:
+                if classes[a] == classes[b]:
+                    assert mapping[a] == mapping[b]
+                elif classes[a] < classes[b]:
+                    assert mapping[a] < mapping[b]

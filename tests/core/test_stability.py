@@ -1,0 +1,126 @@
+"""Tests for ranking/clustering stability metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RelativePerformanceAnalyzer,
+    SingleStatisticRanker,
+    cluster_partition_agreement,
+    kendall_tau_distance,
+    pairwise_order_agreement,
+    stability_across_rounds,
+)
+
+
+class TestPairwiseOrderAgreement:
+    def test_identical_rankings_agree_fully(self):
+        ranks = {"a": 1, "b": 2, "c": 3}
+        assert pairwise_order_agreement(ranks, ranks) == 1.0
+
+    def test_reversed_ranking_has_zero_agreement(self):
+        a = {"a": 1, "b": 2, "c": 3}
+        b = {"a": 3, "b": 2, "c": 1}
+        assert pairwise_order_agreement(a, b) == 0.0
+
+    def test_tied_vs_ordered_counts_as_disagreement(self):
+        a = {"a": 1, "b": 1}
+        b = {"a": 1, "b": 2}
+        assert pairwise_order_agreement(a, b) == 0.0
+
+    def test_single_label(self):
+        assert pairwise_order_agreement({"a": 1}, {"a": 5}) == 1.0
+
+    def test_mismatched_label_sets_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_order_agreement({"a": 1}, {"b": 1})
+
+
+class TestKendallTau:
+    def test_identical_is_zero(self):
+        ranks = {"a": 1, "b": 2, "c": 3}
+        assert kendall_tau_distance(ranks, ranks) == 0.0
+
+    def test_reversed_is_one(self):
+        a = {"a": 1, "b": 2, "c": 3}
+        b = {"a": 3, "b": 2, "c": 1}
+        assert kendall_tau_distance(a, b) == 1.0
+
+    def test_ties_are_not_discordant(self):
+        a = {"a": 1, "b": 1}
+        b = {"a": 1, "b": 2}
+        assert kendall_tau_distance(a, b) == 0.0
+
+    def test_partial_disagreement(self):
+        a = {"a": 1, "b": 2, "c": 3}
+        b = {"a": 2, "b": 1, "c": 3}
+        assert kendall_tau_distance(a, b) == pytest.approx(1.0 / 3.0)
+
+
+class TestPartitionAgreement:
+    def test_identical_partitions(self):
+        a = {"x": 1, "y": 1, "z": 2}
+        assert cluster_partition_agreement(a, a) == 1.0
+
+    def test_fully_split_vs_fully_merged(self):
+        merged = {"x": 1, "y": 1, "z": 1}
+        split = {"x": 1, "y": 2, "z": 3}
+        assert cluster_partition_agreement(merged, split) == 0.0
+
+    def test_relabelled_clusters_are_equivalent(self):
+        a = {"x": 1, "y": 1, "z": 2}
+        b = {"x": 7, "y": 7, "z": 3}
+        assert cluster_partition_agreement(a, b) == 1.0
+
+
+class TestStabilityAcrossRounds:
+    def test_requires_two_rounds(self):
+        with pytest.raises(ValueError):
+            stability_across_rounds([{"a": 1}])
+
+    def test_perfectly_stable_rounds(self):
+        rounds = [{"a": 1, "b": 2, "c": 2}] * 4
+        report = stability_across_rounds(rounds)
+        assert report.mean_order_agreement == 1.0
+        assert report.mean_partition_agreement == 1.0
+        assert report.best_class_consistency == 1.0
+        assert report.n_rounds == 4
+        assert "order-agreement=1.000" in report.summary()
+
+    def test_unstable_best_class(self):
+        rounds = [{"a": 1, "b": 2}, {"a": 2, "b": 1}, {"a": 1, "b": 2}]
+        report = stability_across_rounds(rounds)
+        assert report.best_class_consistency == pytest.approx(2.0 / 3.0)
+        assert report.mean_order_agreement < 1.0
+
+
+class TestClusteringIsMoreStableThanSingleStatistics:
+    """Integration-flavoured check of the paper's motivation: under heavy noise the
+    relative-performance clustering keeps equivalent algorithms together, whereas a
+    mean-based ranking keeps flipping their order."""
+
+    def test_relative_performance_beats_mean_ranking_in_stability(self):
+        rng = np.random.default_rng(2024)
+        analyzer = RelativePerformanceAnalyzer(seed=0, repetitions=30)
+        ranker = SingleStatisticRanker("mean")
+
+        clustering_rounds = []
+        mean_rounds = []
+        for _ in range(6):
+            measurements = {
+                "twin1": rng.lognormal(0.0, 0.2, size=25),
+                "twin2": rng.lognormal(0.01, 0.2, size=25),
+                "slow": rng.lognormal(1.0, 0.2, size=25),
+            }
+            result = analyzer.analyze(measurements)
+            clustering_rounds.append(
+                {label: result.final.cluster_of(label) for label in measurements}
+            )
+            mean_rounds.append(ranker.rank(measurements).ranks)
+
+        clustering_report = stability_across_rounds(clustering_rounds)
+        mean_report = stability_across_rounds(mean_rounds)
+        assert clustering_report.mean_order_agreement >= mean_report.mean_order_agreement
+        assert clustering_report.best_class_consistency >= mean_report.best_class_consistency

@@ -1,0 +1,81 @@
+"""Tests for the fundamental comparison types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Comparison, ComparisonCounter, PairwiseOracle, bind_comparator
+from repro.core.comparison import MeanComparator
+
+
+class TestComparison:
+    def test_flipped_is_involution(self):
+        for outcome in Comparison:
+            assert outcome.flipped().flipped() is outcome
+
+    def test_flipped_swaps_better_and_worse(self):
+        assert Comparison.BETTER.flipped() is Comparison.WORSE
+        assert Comparison.WORSE.flipped() is Comparison.BETTER
+        assert Comparison.EQUIVALENT.flipped() is Comparison.EQUIVALENT
+
+    def test_symbols_match_paper_notation(self):
+        assert Comparison.BETTER.symbol == ">"
+        assert Comparison.WORSE.symbol == "<"
+        assert Comparison.EQUIVALENT.symbol == "~"
+
+
+class TestPairwiseOracle:
+    def test_returns_recorded_outcome(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.BETTER})
+        assert oracle("a", "b") is Comparison.BETTER
+
+    def test_reverse_direction_is_flipped(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.BETTER})
+        assert oracle("b", "a") is Comparison.WORSE
+
+    def test_equivalence_is_symmetric(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.EQUIVALENT})
+        assert oracle("b", "a") is Comparison.EQUIVALENT
+
+    def test_self_comparison_is_equivalent(self):
+        oracle = PairwiseOracle({})
+        assert oracle("x", "x") is Comparison.EQUIVALENT
+
+    def test_unknown_pair_raises_without_default(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.BETTER})
+        with pytest.raises(KeyError):
+            oracle("a", "c")
+
+    def test_unknown_pair_uses_default(self):
+        oracle = PairwiseOracle({}, default=Comparison.EQUIVALENT)
+        assert oracle("p", "q") is Comparison.EQUIVALENT
+
+    def test_counts_calls(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.BETTER})
+        oracle("a", "b")
+        oracle("b", "a")
+        assert oracle.calls == 2
+
+
+class TestComparisonCounter:
+    def test_counts_and_delegates(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.WORSE})
+        counter = ComparisonCounter(oracle)
+        assert counter("a", "b") is Comparison.WORSE
+        assert counter("b", "a") is Comparison.BETTER
+        assert counter.calls == 2
+
+
+class TestBindComparator:
+    def test_binds_measurements_to_labels(self):
+        compare = bind_comparator(
+            MeanComparator(), {"fast": [1.0, 1.1], "slow": [5.0, 5.1]}
+        )
+        assert compare("fast", "slow") is Comparison.BETTER
+        assert compare("slow", "fast") is Comparison.WORSE
+
+    def test_missing_label_raises(self):
+        compare = bind_comparator(MeanComparator(), {"only": np.array([1.0])})
+        with pytest.raises(KeyError):
+            compare("only", "missing")

@@ -1,0 +1,190 @@
+"""Tests for the analytic execution simulator and the host executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import HostExecutor, SimulatedExecutor, cpu_gpu_platform
+from repro.measurement.noise import NoNoise
+from repro.tasks import GemmLoopTask, TaskChain, table1_chain
+
+
+@pytest.fixture
+def platform():
+    return cpu_gpu_platform()
+
+
+@pytest.fixture
+def simulator(platform):
+    return SimulatedExecutor(platform, seed=0)
+
+
+@pytest.fixture
+def small_chain():
+    return TaskChain(
+        [GemmLoopTask(32, iterations=2, name="L1"), GemmLoopTask(64, iterations=2, name="L2")],
+        name="small",
+    )
+
+
+class TestExecute:
+    def test_record_structure(self, simulator, small_chain):
+        record = simulator.execute(small_chain, "DA")
+        assert record.label == "DA"
+        assert record.placement == ("D", "A")
+        assert len(record.tasks) == 2
+        assert record.total_time_s > 0
+        assert record.total_time_s == pytest.approx(sum(t.total_time_s for t in record.tasks))
+        assert record.tasks[0].device == "D"
+        assert record.tasks[1].device == "A"
+
+    def test_flops_attribution(self, simulator, small_chain):
+        record = simulator.execute(small_chain, "DA")
+        assert record.flops_on("D") == pytest.approx(small_chain[0].flops)
+        assert record.flops_on("A") == pytest.approx(small_chain[1].flops)
+        assert record.flops_on("D") + record.flops_on("A") == pytest.approx(small_chain.total_flops)
+
+    def test_all_on_host_has_no_transfers(self, simulator, small_chain):
+        record = simulator.execute(small_chain, "DD")
+        assert record.transferred_bytes == 0.0
+        assert record.energy.transfer_j == 0.0
+        assert record.operating_cost == 0.0
+
+    def test_offloading_adds_transfers_and_cost(self, simulator, small_chain):
+        record = simulator.execute(small_chain, "AA")
+        assert record.transferred_bytes > 0
+        assert record.energy.transfer_j > 0
+        assert record.operating_cost > 0
+
+    def test_busy_fraction_bounded(self, simulator, small_chain):
+        record = simulator.execute(small_chain, "DA")
+        for alias in ("D", "A"):
+            assert 0.0 <= record.busy_fraction(alias) <= 1.0
+
+    def test_energy_total_consistency(self, simulator, small_chain):
+        record = simulator.execute(small_chain, "AD")
+        total = (
+            sum(record.energy.active_j.values())
+            + sum(record.energy.idle_j.values())
+            + record.energy.transfer_j
+        )
+        assert record.energy.total_j == pytest.approx(total)
+
+    def test_placement_validation(self, simulator, small_chain):
+        with pytest.raises(ValueError):
+            simulator.execute(small_chain, "D")
+        with pytest.raises(KeyError):
+            simulator.execute(small_chain, "DZ")
+
+    def test_deterministic(self, platform, small_chain):
+        a = SimulatedExecutor(platform, seed=1).execute(small_chain, "DA")
+        b = SimulatedExecutor(platform, seed=2).execute(small_chain, "DA")
+        assert a.total_time_s == pytest.approx(b.total_time_s)
+
+
+class TestPaperShapes:
+    def test_table1_noise_free_ordering(self, simulator):
+        """The calibrated platform reproduces the qualitative Table I ordering."""
+        chain = table1_chain(loop_size=10)
+        times = {
+            "".join(p): simulator.execute(chain, p).total_time_s
+            for p in ["DDD", "DDA", "DAD", "ADD", "DAA", "ADA", "AAD", "AAA"]
+        }
+        assert min(times, key=times.get) == "DDA"
+        assert max(times, key=times.get) == "AAD"
+        # Offloading the large L3 pays off modestly; offloading L1 never does.
+        assert 1.0 < times["DDD"] / times["DDA"] < 1.3
+        for label in ("ADD", "ADA", "AAD", "AAA"):
+            assert times[label] > times["DDD"]
+
+    def test_figure1_noise_free_ordering(self, simulator):
+        from repro.tasks import figure1_chain
+
+        chain = figure1_chain()
+        times = {"".join(p): simulator.execute(chain, p).total_time_s for p in ["DD", "DA", "AD", "AA"]}
+        assert times["AD"] < times["AA"] < times["DD"]
+        # Offloading the large, data-heavy L2 does not pay off.
+        assert times["DA"] >= times["DD"]
+        assert abs(times["DA"] - times["DD"]) / times["DD"] < 0.05
+
+
+class TestMeasure:
+    def test_measure_shape_and_positivity(self, simulator, small_chain):
+        times = simulator.measure(small_chain, "DA", repetitions=25)
+        assert times.shape == (25,)
+        assert np.all(times > 0)
+
+    def test_measure_centres_on_noise_free_time(self, platform, small_chain):
+        sim = SimulatedExecutor(platform, seed=3)
+        record = sim.execute(small_chain, "AD")
+        times = sim.measure(small_chain, "AD", repetitions=400)
+        assert abs(np.median(times) - record.total_time_s) / record.total_time_s < 0.1
+
+    def test_no_noise_measurements_are_exact(self, platform, small_chain):
+        sim = SimulatedExecutor(platform, noise=NoNoise(), seed=0)
+        times = sim.measure(small_chain, "DD", repetitions=5)
+        assert np.allclose(times, times[0])
+
+    def test_measure_all_builds_measurement_set(self, simulator, small_chain):
+        ms = simulator.measure_all(small_chain, ["DD", "DA", "AD", "AA"], repetitions=10)
+        assert set(ms.labels) == {"DD", "DA", "AD", "AA"}
+        assert all(ms.n_measurements(label) == 10 for label in ms.labels)
+
+    def test_energy_measure(self, simulator, small_chain):
+        energies = simulator.energy_measure(small_chain, "AA", repetitions=12)
+        assert energies.shape == (12,)
+        assert np.all(energies > 0)
+
+    def test_invalid_repetitions(self, simulator, small_chain):
+        with pytest.raises(ValueError):
+            simulator.measure(small_chain, "DD", repetitions=0)
+        with pytest.raises(ValueError):
+            simulator.energy_measure(small_chain, "DD", repetitions=-1)
+
+    def test_reproducible_with_same_seed(self, platform, small_chain):
+        a = SimulatedExecutor(platform, seed=11).measure(small_chain, "DA", 20)
+        b = SimulatedExecutor(platform, seed=11).measure(small_chain, "DA", 20)
+        np.testing.assert_array_equal(a, b)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_measurements_always_positive(self, seed):
+        chain = TaskChain([GemmLoopTask(16, name="L1"), GemmLoopTask(24, name="L2")])
+        sim = SimulatedExecutor(cpu_gpu_platform(), seed=seed)
+        assert np.all(sim.measure(chain, "AA", 30) > 0)
+
+
+class TestHostExecutor:
+    def test_run_once_and_measure(self, platform):
+        chain = TaskChain([GemmLoopTask(24, iterations=1, name="L1"), GemmLoopTask(32, iterations=1, name="L2")])
+        executor = HostExecutor(platform, accelerator_speedup=4.0, seed=0)
+        duration = executor.run_once(chain, "DD")
+        assert duration > 0
+        times = executor.measure(chain, "DA", repetitions=3, warmup=1)
+        assert times.shape == (3,)
+        assert np.all(times > 0)
+
+    def test_measure_all(self, platform):
+        chain = TaskChain([GemmLoopTask(16, iterations=1, name="L1")])
+        executor = HostExecutor(platform, accelerator_speedup={"A": 2.0}, seed=0)
+        ms = executor.measure_all(chain, ["D", "A"], repetitions=2, warmup=0)
+        assert set(ms.labels) == {"D", "A"}
+
+    def test_invalid_configuration(self, platform):
+        with pytest.raises(ValueError):
+            HostExecutor(platform, accelerator_speedup=0.0)
+        with pytest.raises(ValueError):
+            HostExecutor(platform, accelerator_speedup={"A": -1.0})
+        with pytest.raises(KeyError):
+            HostExecutor(platform, accelerator_speedup={"Z": 2.0})
+
+    def test_placement_validation(self, platform):
+        chain = TaskChain([GemmLoopTask(8, name="L1")])
+        executor = HostExecutor(platform)
+        with pytest.raises(ValueError):
+            executor.run_once(chain, "DD")
+        with pytest.raises(ValueError):
+            executor.measure(chain, "D", repetitions=0)

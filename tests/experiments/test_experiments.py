@@ -1,0 +1,173 @@
+"""Tests for the experiment runners (small configurations for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    DecisionModelConfig,
+    EnergySwitchingConfig,
+    Figure1Config,
+    Figure2Config,
+    Section3Config,
+    Table1Config,
+    run_experiment,
+)
+from repro.experiments.figure2 import PAPER_FINAL_SEQUENCE
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert {
+            "figure1",
+            "figure2",
+            "section3_scores",
+            "table1",
+            "decision_model",
+            "energy_switching",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+
+class TestFigure2:
+    def test_replay_matches_published_sequence(self):
+        result = run_experiment("figure2")
+        assert result.matches_paper
+        assert tuple(result.sort.pairs()) == PAPER_FINAL_SEQUENCE
+
+    def test_different_initial_order_still_three_classes(self):
+        result = run_experiment("figure2", Figure2Config(initial_order=("AD", "DA", "AA", "DD")))
+        assert result.sort.n_classes == 3
+        assert result.sort.rank_of("AD") == 1
+
+    def test_report_mentions_every_algorithm(self):
+        text = run_experiment("figure2").report()
+        for label in ("AD", "AA", "DD", "DA"):
+            assert label in text
+
+
+@pytest.fixture(scope="module")
+def small_figure1():
+    return run_experiment("figure1", Figure1Config(n_measurements=40, repetitions=20, seed=0))
+
+
+class TestFigure1:
+    def test_algorithm_space_is_the_four_splits(self, small_figure1):
+        assert sorted(small_figure1.labels) == ["AA", "AD", "DA", "DD"]
+
+    def test_ad_is_the_fastest_class(self, small_figure1):
+        assert small_figure1.analysis.cluster_of("AD") == 1
+
+    def test_offloading_only_the_small_loop_beats_everything(self, small_figure1):
+        clusters = {label: small_figure1.analysis.cluster_of(label) for label in small_figure1.labels}
+        assert clusters["AD"] <= clusters["AA"] <= clusters["DD"]
+        assert clusters["DD"] <= clusters["DA"]
+
+    def test_dd_and_da_are_close(self, small_figure1):
+        """The paper finds DD ~ DA; on the simulated platform they stay within one class."""
+        gap = abs(
+            small_figure1.analysis.cluster_of("DD") - small_figure1.analysis.cluster_of("DA")
+        )
+        assert gap <= 1
+
+    def test_report_contains_figure_parts(self, small_figure1):
+        text = small_figure1.report()
+        assert "Figure 1a" in text
+        assert "Figure 1b" in text
+        assert "Clustering" in text
+        assert "#" in text  # histogram bars
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_experiment("table1", Table1Config(n_measurements=30, repetitions=40, seed=0))
+
+
+class TestTable1:
+    def test_qualitative_checks_all_pass(self, table1_result):
+        checks = table1_result.qualitative_checks()
+        failed = [name for name, ok in checks.items() if not ok]
+        assert not failed, f"failed qualitative checks: {failed}"
+
+    def test_speedup_is_modest_like_the_paper(self, table1_result):
+        assert 1.0 < table1_result.speedup_dda_over_ddd < 1.35
+
+    def test_every_algorithm_clustered(self, table1_result):
+        assert sorted(table1_result.analysis.final.labels) == sorted(
+            ["DDD", "DDA", "DAD", "DAA", "ADD", "ADA", "AAD", "AAA"]
+        )
+
+    def test_profiles_available_for_selection(self, table1_result):
+        assert set(table1_result.profiles) == set(table1_result.analysis.final.labels)
+
+    def test_report_lists_checks(self, table1_result):
+        text = table1_result.report()
+        assert "Qualitative checks" in text
+        assert "[x]" in text
+
+
+class TestSection3:
+    def test_small_n_produces_borderline_comparisons(self):
+        result = run_experiment(
+            "section3_scores", Section3Config(n_measurements=30, repetitions=60, seed=1)
+        )
+        table = result.score_table
+        # Every algorithm's scores sum to one and AD is always in the best class.
+        for label in table.labels:
+            assert table.total_score(label) == pytest.approx(1.0)
+        assert result.final.cluster_of("AD") == 1
+        # With only 30 measurements at least one algorithm straddles two ranks.
+        assert result.fractional_labels()
+        assert "Relative scores per rank" in result.report()
+
+
+class TestDecisionModel:
+    def test_speedup_grows_with_loop_size(self):
+        result = run_experiment(
+            "decision_model",
+            DecisionModelConfig(loop_sizes=(5, 20), cost_weights=(0.0, 1e5), n_measurements=20, repetitions=20),
+        )
+        speedups = result.speedups()
+        assert speedups[20] > speedups[5] > 1.0
+        assert result.gaps_s()[20] > result.gaps_s()[5] > 0.0
+
+    def test_cost_weight_switches_the_decision(self):
+        result = run_experiment(
+            "decision_model",
+            DecisionModelConfig(loop_sizes=(10,), cost_weights=(0.0, 1e6), n_measurements=20, repetitions=20),
+        )
+        assert result.decisions[(10, 0.0)] == "DDA"
+        assert result.decisions[(10, 1e6)] == "DDD"
+        assert "speed-up" in result.report()
+
+
+class TestEnergySwitching:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "energy_switching",
+            EnergySwitchingConfig(loop_size=5, n_invocations=120, threshold_j=5.0, dissipation_j=1.0),
+        )
+
+    def test_policy_alternates_between_algorithms(self, result):
+        assert result.trace.n_switches >= 2
+        assert 0.0 < result.trace.usage_fraction("DDD") < 1.0
+
+    def test_switching_saves_edge_energy_compared_to_static_ddd(self, result):
+        comparison = result.comparison
+        assert (
+            comparison["switching"]["device_energy_j"]
+            < comparison["static-DDD"]["device_energy_j"]
+        )
+
+    def test_budget_selector_offloads_the_big_task(self, result):
+        assert result.budget_choice in {"DDA", "DAA", "ADA", "AAA"}
+
+    def test_report(self, result):
+        text = result.report()
+        assert "Energy-aware switching" in text
+        assert "strategy" in text

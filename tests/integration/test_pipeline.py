@@ -1,0 +1,87 @@
+"""End-to-end integration tests across all packages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RelativePerformanceAnalyzer
+from repro.devices import HostExecutor, SimulatedExecutor, cpu_gpu_platform, raspberry_gpu_platform
+from repro.experiments import default_analyzer
+from repro.measurement import MeasurementRunner
+from repro.offload import enumerate_algorithms, measure_algorithms, profile_algorithms
+from repro.selection import DecisionModel, FlopsBudgetSelector, pareto_front
+from repro.tasks import GemmLoopTask, TaskChain, table1_chain
+
+
+class TestSimulatedPipeline:
+    """Chain → placements → simulated measurements → clustering → selection."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        platform = cpu_gpu_platform()
+        chain = table1_chain(loop_size=5)
+        algorithms = enumerate_algorithms(chain, platform)
+        executor = SimulatedExecutor(platform, seed=3)
+        measurements = measure_algorithms(algorithms, executor, repetitions=25)
+        analyzer = default_analyzer(seed=0, repetitions=40, n_measurements=25)
+        analysis = analyzer.analyze(measurements)
+        profiles = profile_algorithms(algorithms, executor)
+        return platform, chain, algorithms, measurements, analysis, profiles
+
+    def test_clustering_is_a_partition(self, pipeline):
+        _, _, algorithms, _, analysis, _ = pipeline
+        assert sorted(analysis.final.labels) == sorted(a.label for a in algorithms)
+
+    def test_cluster_order_is_consistent_with_mean_times(self, pipeline):
+        """Cluster 1's algorithms are never slower on average than the worst cluster's."""
+        _, _, _, measurements, analysis, _ = pipeline
+        clusters = analysis.clusters()
+        best = min(clusters)
+        worst = max(clusters)
+        best_mean = min(measurements.mean(label) for label in clusters[best])
+        worst_mean = max(measurements.mean(label) for label in clusters[worst])
+        assert best_mean < worst_mean
+
+    def test_selection_policies_agree_on_the_workload_structure(self, pipeline):
+        platform, chain, algorithms, _, analysis, profiles = pipeline
+        fast = DecisionModel(cost_weight=0.0).decide(analysis.final, profiles).label
+        cheap = DecisionModel(cost_weight=1e9).decide(analysis.final, profiles).label
+        assert profiles[fast].time_s <= profiles[cheap].time_s
+        assert profiles[cheap].operating_cost <= profiles[fast].operating_cost
+
+        budget = FlopsBudgetSelector(device=platform.host, budget_flops=0.2 * chain.total_flops)
+        choice = budget.select(analysis.final, {a.label: a for a in algorithms})
+        assert choice.device_flops <= 0.2 * chain.total_flops
+
+        front = pareto_front(profiles)
+        assert fast in front and "DDD" in front
+
+    def test_other_platform_works_too(self):
+        platform = raspberry_gpu_platform()
+        chain = TaskChain([GemmLoopTask(48, 2, name="L1"), GemmLoopTask(96, 2, name="L2")])
+        algorithms = enumerate_algorithms(chain, platform)
+        executor = SimulatedExecutor(platform, seed=0)
+        measurements = measure_algorithms(algorithms, executor, repetitions=15)
+        analysis = RelativePerformanceAnalyzer(seed=0, repetitions=20).analyze(measurements)
+        assert analysis.n_clusters >= 1
+        assert set(analysis.final.labels) == {"DD", "DA", "AD", "AA"}
+
+
+class TestRealMeasurementPipeline:
+    """Real host execution (paper footnote 2: accelerator emulated with artificial delays)."""
+
+    def test_host_executor_feeds_the_analyzer(self):
+        platform = cpu_gpu_platform()
+        chain = TaskChain([GemmLoopTask(24, 1, name="L1"), GemmLoopTask(48, 1, name="L2")])
+        executor = HostExecutor(platform, accelerator_speedup=3.0, seed=0)
+        measurements = executor.measure_all(chain, ["DD", "DA", "AD", "AA"], repetitions=5, warmup=1)
+        analysis = RelativePerformanceAnalyzer(seed=0, repetitions=20).analyze(measurements)
+        assert set(analysis.final.labels) == {"DD", "DA", "AD", "AA"}
+
+    def test_measurement_runner_with_chain_callables(self):
+        chain = TaskChain([GemmLoopTask(16, 1, name="L1")])
+        rng = np.random.default_rng(0)
+        runner = MeasurementRunner(repetitions=4, warmup=1)
+        measurements = runner.collect({"direct": lambda: chain.run(rng=rng)})
+        assert measurements.n_measurements("direct") == 4

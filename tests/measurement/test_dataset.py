@@ -1,0 +1,114 @@
+"""Tests for MeasurementSet and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measurement import MeasurementSet
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        ms = MeasurementSet({"a": [1.0, 2.0], "b": np.array([3.0])})
+        assert set(ms.labels) == {"a", "b"}
+        assert ms.n_measurements("a") == 2
+        np.testing.assert_array_equal(ms["b"], [3.0])
+
+    def test_rejects_empty_vector(self):
+        with pytest.raises(ValueError):
+            MeasurementSet({"a": []})
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            MeasurementSet({"a": [1.0, np.nan]})
+        with pytest.raises(ValueError):
+            MeasurementSet({"a": [1.0, np.inf]})
+
+    def test_rejects_non_positive_by_default(self):
+        with pytest.raises(ValueError):
+            MeasurementSet({"a": [0.0, 1.0]})
+        with pytest.raises(ValueError):
+            MeasurementSet({"a": [-1.0]})
+
+    def test_allows_non_positive_when_requested(self):
+        ms = MeasurementSet({"a": [-1.0, 0.0]}, require_positive=False, metric="delta", unit="ms")
+        assert ms.metric == "delta"
+        assert ms.unit == "ms"
+
+
+class TestMutation:
+    def test_record_appends(self):
+        ms = MeasurementSet()
+        ms.record("x", 1.0)
+        ms.record("x", 2.0)
+        np.testing.assert_array_equal(ms["x"], [1.0, 2.0])
+
+    def test_extend_appends_vector(self):
+        ms = MeasurementSet({"x": [1.0]})
+        ms.extend("x", [2.0, 3.0])
+        assert ms.n_measurements("x") == 3
+        ms.extend("y", [4.0])
+        assert "y" in ms
+
+    def test_add_replaces(self):
+        ms = MeasurementSet({"x": [1.0, 2.0]})
+        ms.add("x", [5.0])
+        np.testing.assert_array_equal(ms["x"], [5.0])
+
+    def test_merge_and_subset(self):
+        a = MeasurementSet({"x": [1.0], "y": [2.0]})
+        b = MeasurementSet({"y": [9.0], "z": [3.0]})
+        merged = a.merge(b)
+        assert set(merged.labels) == {"x", "y", "z"}
+        np.testing.assert_array_equal(merged["y"], [9.0])
+        sub = merged.subset(["z", "x"])
+        assert sub.labels == ["z", "x"]
+        with pytest.raises(KeyError):
+            merged.subset(["missing"])
+
+
+class TestInterop:
+    def test_mapping_protocol(self):
+        ms = MeasurementSet({"a": [1.0], "b": [2.0]})
+        assert len(ms) == 2
+        assert "a" in ms and "c" not in ms
+        assert list(iter(ms)) == ["a", "b"]
+        assert dict(ms.items()).keys() == {"a", "b"}
+
+    def test_as_dict_feeds_analyzer(self):
+        from repro.core import RelativePerformanceAnalyzer
+
+        rng = np.random.default_rng(0)
+        ms = MeasurementSet(
+            {"fast": rng.normal(1.0, 0.01, 40), "slow": rng.normal(3.0, 0.03, 40)}
+        )
+        result = RelativePerformanceAnalyzer(seed=0, repetitions=10).analyze(ms)
+        assert result.cluster_of("fast") == 1
+        assert result.cluster_of("slow") == 2
+
+
+class TestStatistics:
+    def test_summary_values(self):
+        ms = MeasurementSet({"a": [1.0, 2.0, 3.0, 4.0]})
+        s = ms.summary("a")
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+        assert s.q25 <= s.median <= s.q75
+        assert s.coefficient_of_variation > 0
+        assert len(s.as_row()) == 9
+
+    def test_single_measurement_has_zero_std(self):
+        ms = MeasurementSet({"a": [2.0]})
+        assert ms.summary("a").std == 0.0
+
+    def test_summaries_order(self):
+        ms = MeasurementSet({"b": [1.0], "a": [2.0]})
+        assert [s.label for s in ms.summaries()] == ["b", "a"]
+
+    def test_speedup(self):
+        ms = MeasurementSet({"base": [2.0, 2.0], "fast": [1.0, 1.0]})
+        assert ms.speedup("base", "fast") == pytest.approx(2.0)
+        assert ms.mean("base") == pytest.approx(2.0)

@@ -1,0 +1,126 @@
+"""Tests for the measurement-noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement import (
+    AdditiveJitter,
+    CompositeNoise,
+    DriftNoise,
+    GaussianNoise,
+    LognormalNoise,
+    NoNoise,
+    OutlierNoise,
+    default_system_noise,
+)
+
+
+ALL_MODELS = [
+    NoNoise(),
+    LognormalNoise(sigma=0.05),
+    GaussianNoise(rel_sigma=0.03),
+    OutlierNoise(probability=0.1, scale=2.0),
+    DriftNoise(total_drift=0.1),
+    AdditiveJitter(scale_seconds=1e-4),
+    default_system_noise(),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestCommonBehaviour:
+    def test_output_shape_and_positivity(self, model, rng):
+        samples = model(0.01, 50, rng)
+        assert samples.shape == (50,)
+        assert np.all(samples > 0)
+
+    def test_samples_centre_near_base(self, model, rng):
+        base = 0.5
+        samples = model(base, 400, rng)
+        assert abs(np.median(samples) - base) / base < 0.25
+
+    def test_invalid_arguments(self, model, rng):
+        with pytest.raises(ValueError):
+            model(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            model(1.0, 0, rng)
+
+    def test_deterministic_given_seed(self, model):
+        a = model(0.1, 20, np.random.default_rng(3))
+        b = model(0.1, 20, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpecificModels:
+    def test_no_noise_is_exact(self, rng):
+        np.testing.assert_array_equal(NoNoise()(2.0, 5, rng), np.full(5, 2.0))
+
+    def test_lognormal_spread_grows_with_sigma(self, rng):
+        low = LognormalNoise(0.01)(1.0, 2000, np.random.default_rng(1))
+        high = LognormalNoise(0.2)(1.0, 2000, np.random.default_rng(1))
+        assert high.std() > low.std()
+
+    def test_outlier_fraction_close_to_probability(self):
+        model = OutlierNoise(probability=0.2, scale=3.0)
+        samples = model(1.0, 5000, np.random.default_rng(0))
+        fraction = np.mean(samples > 2.0)
+        assert 0.15 <= fraction <= 0.25
+
+    def test_drift_is_monotone(self, rng):
+        samples = DriftNoise(total_drift=0.5)(1.0, 10, rng)
+        assert np.all(np.diff(samples) >= 0)
+        assert samples[-1] == pytest.approx(1.5)
+
+    def test_drift_single_sample(self, rng):
+        assert DriftNoise(0.5)(1.0, 1, rng)[0] == pytest.approx(1.0)
+
+    def test_additive_jitter_only_adds(self, rng):
+        samples = AdditiveJitter(1e-3)(0.5, 100, rng)
+        assert np.all(samples >= 0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LognormalNoise(sigma=-0.1)
+        with pytest.raises(ValueError):
+            GaussianNoise(rel_sigma=-0.1)
+        with pytest.raises(ValueError):
+            OutlierNoise(probability=1.5)
+        with pytest.raises(ValueError):
+            OutlierNoise(scale=0.5)
+        with pytest.raises(ValueError):
+            AdditiveJitter(scale_seconds=-1)
+        with pytest.raises(ValueError):
+            default_system_noise(level=-1)
+
+
+class TestComposite:
+    def test_empty_composite_is_identity(self, rng):
+        np.testing.assert_array_equal(CompositeNoise(())(1.5, 4, rng), np.full(4, 1.5))
+
+    def test_composition_of_known_models(self, rng):
+        model = CompositeNoise((LognormalNoise(0.05), AdditiveJitter(1e-4), OutlierNoise(0.0)))
+        samples = model(0.2, 300, rng)
+        assert samples.shape == (300,)
+        assert np.all(samples > 0)
+        assert abs(np.median(samples) - 0.2) < 0.02
+
+    def test_composition_with_custom_model_falls_back(self, rng):
+        from repro.measurement.noise import NoiseModel
+
+        class Shift(NoiseModel):
+            def sample(self, base, n, generator):
+                return np.full(n, base * 1.1)
+
+        model = CompositeNoise((Shift(), GaussianNoise(0.0)))
+        samples = model(1.0, 3, rng)
+        np.testing.assert_allclose(samples, 1.1)
+
+    @given(level=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_default_system_noise_positive_for_any_level(self, level):
+        model = default_system_noise(level)
+        samples = model(0.05, 50, np.random.default_rng(7))
+        assert np.all(samples > 0)

@@ -1,0 +1,98 @@
+"""Tests for timers and the measurement runner."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.measurement import (
+    MeasurementRunner,
+    ProcessTimeTimer,
+    WallClockTimer,
+    measure_callable,
+)
+
+
+class TestTimers:
+    def test_wall_clock_measures_elapsed_time(self):
+        duration = WallClockTimer.time(lambda: time.sleep(0.01))
+        assert duration >= 0.009
+
+    def test_process_time_ignores_sleep(self):
+        duration = ProcessTimeTimer.time(lambda: time.sleep(0.01))
+        assert duration < 0.009
+
+    def test_timer_names(self):
+        assert WallClockTimer.name == "perf_counter"
+        assert ProcessTimeTimer.name == "process_time"
+
+
+class TestMeasureCallable:
+    def test_returns_requested_number_of_measurements(self):
+        times = measure_callable(lambda: sum(range(1000)), repetitions=7, warmup=2)
+        assert times.shape == (7,)
+        assert np.all(times >= 0)
+
+    def test_warmup_calls_happen(self):
+        calls = []
+        measure_callable(lambda: calls.append(1), repetitions=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            measure_callable(lambda: None, repetitions=0)
+        with pytest.raises(ValueError):
+            measure_callable(lambda: None, repetitions=1, warmup=-1)
+
+
+class TestMeasurementRunner:
+    def test_collects_all_algorithms(self):
+        runner = MeasurementRunner(repetitions=4, warmup=1)
+        ms = runner.collect({"a": lambda: sum(range(200)), "b": lambda: sum(range(2000))})
+        assert set(ms.labels) == {"a", "b"}
+        assert ms.n_measurements("a") == 4
+        assert ms.n_measurements("b") == 4
+
+    def test_faster_algorithm_measures_faster(self):
+        runner = MeasurementRunner(repetitions=8, warmup=1)
+        ms = runner.collect(
+            {"cheap": lambda: sum(range(100)), "costly": lambda: sum(range(300_000))}
+        )
+        assert ms.mean("cheap") < ms.mean("costly")
+
+    @pytest.mark.parametrize("schedule", ["grouped", "round-robin", "shuffled"])
+    def test_schedules_produce_same_counts(self, schedule):
+        runner = MeasurementRunner(repetitions=3, warmup=0, schedule=schedule, seed=1)
+        ms = runner.collect({"x": lambda: None, "y": lambda: None})
+        assert ms.n_measurements("x") == 3
+        assert ms.n_measurements("y") == 3
+
+    def test_execution_order_counts_per_schedule(self):
+        labels = ["a", "b", "c"]
+        grouped = MeasurementRunner(repetitions=2, schedule="grouped")._execution_order(labels)
+        assert grouped == ["a", "a", "b", "b", "c", "c"]
+        rr = MeasurementRunner(repetitions=2, schedule="round-robin")._execution_order(labels)
+        assert rr == ["a", "b", "c", "a", "b", "c"]
+        shuffled = MeasurementRunner(repetitions=2, schedule="shuffled", seed=0)._execution_order(labels)
+        assert sorted(shuffled) == sorted(grouped)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            MeasurementRunner(repetitions=0)
+        with pytest.raises(ValueError):
+            MeasurementRunner(warmup=-1)
+        with pytest.raises(ValueError):
+            MeasurementRunner(schedule="random")
+        with pytest.raises(ValueError):
+            MeasurementRunner().collect({})
+
+    def test_warmup_not_recorded(self):
+        counter = {"n": 0}
+
+        def fn():
+            counter["n"] += 1
+
+        MeasurementRunner(repetitions=3, warmup=2).collect({"only": fn})
+        assert counter["n"] == 5

@@ -1,0 +1,211 @@
+"""Tests for placements, algorithm spaces and execution binding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import SimulatedExecutor, cpu_gpu_platform, smartphone_cloud_platform
+from repro.offload import (
+    OffloadedAlgorithm,
+    Placement,
+    enumerate_algorithms,
+    enumerate_placements,
+    measure_algorithms,
+    profile_algorithms,
+    sample_algorithms,
+)
+from repro.tasks import GemmLoopTask, TaskChain, table1_chain
+
+
+@pytest.fixture
+def platform():
+    return cpu_gpu_platform()
+
+
+@pytest.fixture
+def chain():
+    return TaskChain(
+        [GemmLoopTask(16, name="L1"), GemmLoopTask(24, name="L2"), GemmLoopTask(32, name="L3")],
+        name="chain3",
+    )
+
+
+class TestPlacement:
+    def test_from_string_and_label(self):
+        p = Placement.from_string("DDA")
+        assert p.label == "DDA"
+        assert str(p) == "DDA"
+        assert len(p) == 3
+        assert list(p) == ["D", "D", "A"]
+        assert p[2] == "A"
+
+    def test_uniform(self):
+        assert Placement.uniform("D", 3).label == "DDD"
+        with pytest.raises(ValueError):
+            Placement.uniform("D", 0)
+
+    def test_counting_helpers(self):
+        p = Placement.from_string("DAD")
+        assert p.count("D") == 2
+        assert p.tasks_on("A") == [1]
+        assert p.uses("A") and not p.uses("N")
+        assert p.n_offloaded("D") == 1
+
+    def test_with_task_on(self):
+        p = Placement.from_string("DDD").with_task_on(2, "A")
+        assert p.label == "DDA"
+        with pytest.raises(IndexError):
+            p.with_task_on(5, "A")
+
+    def test_validate(self, platform, chain):
+        Placement.from_string("DDA").validate(chain, platform)
+        with pytest.raises(ValueError):
+            Placement.from_string("DD").validate(chain, platform)
+        with pytest.raises(KeyError):
+            Placement.from_string("DDZ").validate(chain, platform)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Placement(())
+        with pytest.raises(ValueError):
+            Placement.from_string("")
+
+
+class TestEnumeration:
+    def test_two_devices_three_tasks_gives_eight_algorithms(self, platform, chain):
+        algorithms = enumerate_algorithms(chain, platform)
+        labels = [a.label for a in algorithms]
+        assert len(labels) == 8
+        assert len(set(labels)) == 8
+        assert {"DDD", "DDA", "AAA"} <= set(labels)
+
+    def test_figure1_space_is_the_four_paper_algorithms(self, platform):
+        from repro.tasks import figure1_chain
+
+        labels = {a.label for a in enumerate_algorithms(figure1_chain(), platform)}
+        assert labels == {"DD", "DA", "AD", "AA"}
+
+    def test_max_offloaded_filter(self, platform, chain):
+        algorithms = enumerate_algorithms(chain, platform, max_offloaded=1)
+        assert {a.label for a in algorithms} == {"DDD", "DDA", "DAD", "ADD"}
+        with pytest.raises(ValueError):
+            enumerate_algorithms(chain, platform, max_offloaded=-1)
+
+    def test_device_restriction(self, chain):
+        platform = smartphone_cloud_platform()
+        algorithms = enumerate_algorithms(chain, platform, devices=["D", "N"])
+        assert len(algorithms) == 8
+        assert all(set(a.placement) <= {"D", "N"} for a in algorithms)
+
+    def test_enumerate_placements_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_placements(0, ["D"])
+        with pytest.raises(ValueError):
+            enumerate_placements(2, [])
+        with pytest.raises(ValueError):
+            enumerate_placements(2, ["D", "D"])
+
+    @given(n_tasks=st.integers(min_value=1, max_value=5), n_devices=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_space_size_is_devices_to_the_tasks(self, n_tasks, n_devices):
+        aliases = [chr(ord("A") + i) for i in range(n_devices)]
+        placements = enumerate_placements(n_tasks, aliases)
+        assert len(placements) == n_devices**n_tasks
+        assert len({p.label for p in placements}) == len(placements)
+
+
+class TestOffloadedAlgorithm:
+    def test_flop_accounting(self, chain):
+        algorithm = OffloadedAlgorithm(chain, Placement.from_string("DAD"))
+        assert algorithm.flops_on("A") == pytest.approx(chain[1].flops)
+        assert algorithm.flops_on("D") == pytest.approx(chain[0].flops + chain[2].flops)
+        assert algorithm.total_flops == pytest.approx(chain.total_flops)
+        by_device = algorithm.flops_by_device()
+        assert sum(by_device.values()) == pytest.approx(chain.total_flops)
+
+    def test_offloaded_fraction_and_transfers(self, chain):
+        all_local = OffloadedAlgorithm(chain, Placement.from_string("DDD"))
+        all_remote = OffloadedAlgorithm(chain, Placement.from_string("AAA"))
+        assert all_local.offloaded_fraction("D") == 0.0
+        assert all_remote.offloaded_fraction("D") == pytest.approx(1.0)
+        assert all_local.transferred_bytes("D") == 0.0
+        assert all_remote.transferred_bytes("D") > 0.0
+
+    def test_mismatched_placement_rejected(self, chain):
+        with pytest.raises(ValueError):
+            OffloadedAlgorithm(chain, Placement.from_string("DD"))
+
+    def test_label_and_str(self, chain):
+        algorithm = OffloadedAlgorithm(chain, Placement.from_string("ADA"))
+        assert algorithm.label == "ADA"
+        assert str(algorithm) == "algADA"
+
+
+class TestSampling:
+    def test_sample_size_and_pinning(self, platform, chain):
+        algorithms = enumerate_algorithms(chain, platform)
+        sampled = sample_algorithms(algorithms, k=4, rng=0, always_include=["DDD"])
+        assert len(sampled) == 4
+        assert "DDD" in {a.label for a in sampled}
+
+    def test_sampling_errors(self, platform, chain):
+        algorithms = enumerate_algorithms(chain, platform)
+        with pytest.raises(ValueError):
+            sample_algorithms(algorithms, k=0)
+        with pytest.raises(ValueError):
+            sample_algorithms(algorithms, k=100)
+        with pytest.raises(KeyError):
+            sample_algorithms(algorithms, k=2, always_include=["ZZZ"])
+        with pytest.raises(ValueError):
+            sample_algorithms(algorithms, k=1, always_include=["DDD", "AAA"])
+
+
+class TestExecutionBinding:
+    def test_measure_algorithms_produces_labelled_set(self, platform, chain):
+        executor = SimulatedExecutor(platform, seed=0)
+        algorithms = enumerate_algorithms(chain, platform)
+        ms = measure_algorithms(algorithms, executor, repetitions=8)
+        assert set(ms.labels) == {a.label for a in algorithms}
+        assert all(ms.n_measurements(label) == 8 for label in ms.labels)
+
+    def test_measure_algorithms_rejects_empty_and_duplicates(self, platform, chain):
+        executor = SimulatedExecutor(platform, seed=0)
+        with pytest.raises(ValueError):
+            measure_algorithms([], executor)
+        duplicate = [
+            OffloadedAlgorithm(chain, Placement.from_string("DDD")),
+            OffloadedAlgorithm(chain, Placement.from_string("DDD")),
+        ]
+        with pytest.raises(ValueError):
+            measure_algorithms(duplicate, executor)
+
+    def test_profiles_expose_selection_quantities(self, platform):
+        executor = SimulatedExecutor(platform, seed=0)
+        chain = table1_chain(loop_size=2)
+        algorithms = enumerate_algorithms(chain, platform)
+        profiles = profile_algorithms(algorithms, executor)
+        assert set(profiles) == {a.label for a in algorithms}
+        ddd = profiles["DDD"]
+        assert ddd.time_s > 0
+        assert ddd.energy_j > 0
+        assert ddd.operating_cost == 0.0
+        assert ddd.flops_on("D") == pytest.approx(chain.total_flops)
+        assert profiles["AAA"].operating_cost > 0
+        assert profiles["AAA"].device_energy("A") > 0
+        with pytest.raises(ValueError):
+            profile_algorithms([], executor)
+
+    def test_integration_with_analyzer(self, platform):
+        """Full pipeline: enumerate -> measure (simulated) -> cluster."""
+        from repro.core import RelativePerformanceAnalyzer
+
+        chain = table1_chain(loop_size=2)
+        executor = SimulatedExecutor(platform, seed=5)
+        algorithms = enumerate_algorithms(chain, platform)
+        ms = measure_algorithms(algorithms, executor, repetitions=20)
+        result = RelativePerformanceAnalyzer(seed=0, repetitions=30).analyze(ms)
+        assert sorted(result.final.labels, key=str) == sorted(ms.labels, key=str)
+        assert result.n_clusters >= 2

@@ -1,0 +1,125 @@
+"""Tests for text reporting: histograms, tables, CSV/markdown."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterEntry, Comparison, PairwiseOracle, ScoreTable, make_final_clustering
+from repro.core.sorting import three_way_bubble_sort
+from repro.measurement import MeasurementSet
+from repro.reporting import (
+    ascii_histogram,
+    cluster_table,
+    distribution_report,
+    format_table,
+    histogram_counts,
+    measurement_summary_table,
+    score_table,
+    sort_trace_table,
+    to_csv,
+    to_markdown,
+)
+
+
+class TestHistograms:
+    def test_histogram_counts(self, rng):
+        counts, edges = histogram_counts(rng.normal(size=200), bins=10)
+        assert counts.sum() == 200
+        assert len(edges) == 11
+
+    def test_histogram_counts_validation(self):
+        with pytest.raises(ValueError):
+            histogram_counts([], bins=5)
+        with pytest.raises(ValueError):
+            histogram_counts([1.0], bins=0)
+
+    def test_ascii_histogram_structure(self, rng):
+        text = ascii_histogram(rng.normal(2.0, 0.1, 100), bins=8, width=30, unit="ms")
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all("ms |" in line for line in lines)
+        assert any("#" in line for line in lines)
+
+    def test_ascii_histogram_width_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0, 2.0], width=0)
+
+    def test_distribution_report_shares_range(self, rng):
+        data = {"fast": rng.normal(1.0, 0.05, 50), "slow": rng.normal(2.0, 0.05, 50)}
+        report = distribution_report(data, bins=10, width=20)
+        assert "--- fast (N=50) ---" in report
+        assert "--- slow (N=50) ---" in report
+        assert "Algorithm" in report
+
+    def test_distribution_report_constant_data(self):
+        report = distribution_report({"a": np.full(5, 1.0)})
+        assert "--- a (N=5) ---" in report
+
+    def test_distribution_report_validation(self):
+        with pytest.raises(ValueError):
+            distribution_report({})
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+        assert "long-name" in lines[3]
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only",)])
+
+
+class TestDomainTables:
+    def test_cluster_table_matches_paper_layout(self):
+        clustering = make_final_clustering(
+            {1: [ClusterEntry("DDA", 1.0)], 2: [ClusterEntry("DDD", 1.0), ClusterEntry("DAA", 0.4)]}
+        )
+        text = cluster_table(clustering)
+        assert "Cluster" in text and "Relative Score" in text
+        assert "C1" in text and "algDDA" in text and "0.40" in text
+
+    def test_score_table_lists_every_rank(self):
+        table = ScoreTable({1: {"AD": 1.0, "AA": 0.3}, 2: {"AA": 0.7}})
+        text = score_table(table)
+        assert "C1" in text and "C2" in text
+        assert text.count("algAA") == 2
+
+    def test_measurement_summary_table(self):
+        ms = MeasurementSet({"x": [1.0, 2.0, 3.0], "y": [5.0, 6.0]})
+        text = measurement_summary_table(ms)
+        assert "x" in text and "y" in text
+        assert "mean [s]" in text
+
+    def test_sort_trace_table(self):
+        oracle = PairwiseOracle({("a", "b"): Comparison.WORSE}, default=Comparison.EQUIVALENT)
+        result = three_way_bubble_sort(["a", "b", "c"], oracle, record_trace=True)
+        text = sort_trace_table(result)
+        assert "Step" in text and "Comparison" in text
+        assert "swap" in text
+
+
+class TestSerialisation:
+    def test_csv_roundtrip(self):
+        text = to_csv(("a", "b"), [(1, "x"), (2, "y,z")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["a", "b"]
+        assert rows[2] == ["2", "y,z"]
+
+    def test_markdown_structure(self):
+        text = to_markdown(("col1", "col2"), [("v1", 2)])
+        lines = text.splitlines()
+        assert lines[0] == "| col1 | col2 |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| v1 | 2 |"
+
+    def test_markdown_row_validation(self):
+        with pytest.raises(ValueError):
+            to_markdown(("a",), [("x", "y")])

@@ -1,0 +1,220 @@
+"""Tests for the algorithm-selection policies (Section IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterEntry, make_final_clustering
+from repro.devices import SimulatedExecutor, cpu_gpu_platform
+from repro.measurement.noise import NoNoise
+from repro.offload import enumerate_algorithms, profile_algorithms
+from repro.selection import (
+    DecisionModel,
+    EnergyAwareSwitcher,
+    FlopsBudgetSelector,
+    SwitchingPolicy,
+    dominates,
+    pareto_front,
+)
+from repro.tasks import table1_chain
+
+
+@pytest.fixture(scope="module")
+def table1_setup():
+    platform = cpu_gpu_platform()
+    executor = SimulatedExecutor(platform, noise=NoNoise(), seed=0)
+    chain = table1_chain(loop_size=5)
+    algorithms = {a.label: a for a in enumerate_algorithms(chain, platform)}
+    profiles = profile_algorithms(algorithms.values(), executor)
+    clustering = make_final_clustering(
+        {
+            1: [ClusterEntry("DDA", 1.0)],
+            2: [ClusterEntry("DDD", 1.0), ClusterEntry("DAA", 0.9)],
+            3: [ClusterEntry("ADA", 1.0)],
+            4: [ClusterEntry("DAD", 1.0), ClusterEntry("ADD", 1.0), ClusterEntry("AAA", 0.8)],
+            5: [ClusterEntry("AAD", 1.0)],
+        }
+    )
+    return platform, algorithms, profiles, clustering
+
+
+class TestDecisionModel:
+    def test_zero_cost_weight_prefers_fastest(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        decision = DecisionModel(cost_weight=0.0).decide(clustering, profiles)
+        assert decision.label == "DDA"
+        assert decision.cluster == 1
+        assert "selected DDA" in decision.summary()
+
+    def test_large_cost_weight_prefers_free_device(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        decision = DecisionModel(cost_weight=1e6).decide(clustering, profiles)
+        assert decision.label == "DDD"
+        assert decision.operating_cost == 0.0
+
+    def test_restriction_to_best_cluster(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        decision = DecisionModel(cost_weight=1e6, restrict_to_clusters=(1,)).decide(
+            clustering, profiles
+        )
+        assert decision.label == "DDA"
+
+    def test_objectives_cover_all_candidates(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        decision = DecisionModel().decide(clustering, profiles)
+        assert set(decision.objectives) == set(clustering.labels)
+
+    def test_score_penalty_discounts_low_confidence(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        # With a huge penalty on low confidence, DAA (score 0.9) is never chosen over DDD.
+        model = DecisionModel(score_penalty=10.0, restrict_to_clusters=(2,))
+        assert model.decide(clustering, profiles).label == "DDD"
+
+    def test_validation(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        with pytest.raises(ValueError):
+            DecisionModel(cost_weight=-1)
+        with pytest.raises(ValueError):
+            DecisionModel(score_penalty=-1)
+        with pytest.raises(ValueError):
+            DecisionModel(restrict_to_clusters=(9,)).decide(clustering, profiles)
+        with pytest.raises(KeyError):
+            DecisionModel().decide(clustering, {"DDA": profiles["DDA"]})
+        with pytest.raises(ValueError):
+            DecisionModel().objective(profiles["DDD"], relative_score=1.5)
+
+
+class TestFlopsBudgetSelector:
+    def test_tight_budget_forces_offloading(self, table1_setup):
+        platform, algorithms, _, clustering = table1_setup
+        total = algorithms["DDD"].flops_on("D")
+        selector = FlopsBudgetSelector(device="D", budget_flops=0.25 * total)
+        selection = selector.select(clustering, algorithms)
+        assert selection.label == "DDA"
+        assert selection.within_budget
+        assert not selection.degraded
+
+    def test_loose_budget_keeps_everything_on_device(self, table1_setup):
+        platform, algorithms, _, clustering = table1_setup
+        total = algorithms["DDD"].flops_on("D")
+        # Within the best cluster, the algorithm with the fewest device FLOPs still wins.
+        selector = FlopsBudgetSelector(device="D", budget_flops=2 * total)
+        assert selector.select(clustering, algorithms).label == "DDA"
+
+    def test_zero_budget_degrades_to_fully_offloaded(self, table1_setup):
+        _, algorithms, _, clustering = table1_setup
+        selector = FlopsBudgetSelector(device="D", budget_flops=0.0, allow_degradation=True)
+        selection = selector.select(clustering, algorithms)
+        assert selection.label == "AAA"
+        assert selection.degraded
+        assert selection.within_budget
+
+    def test_impossible_budget_without_degradation_raises(self, table1_setup):
+        _, algorithms, _, clustering = table1_setup
+        selector = FlopsBudgetSelector(device="D", budget_flops=0.0, allow_degradation=False)
+        with pytest.raises(ValueError):
+            selector.select(clustering, algorithms)
+        fallback = selector.best_effort(clustering, algorithms)
+        assert fallback.label == "DDA"
+        assert not fallback.within_budget
+
+    def test_no_degradation_stops_at_first_cluster(self, table1_setup):
+        _, algorithms, _, clustering = table1_setup
+        budget = algorithms["DDD"].flops_on("D") * 0.5
+        # Only AAA-like algorithms (not in C1) satisfy an ultra-tight budget on L3+L2.
+        tight = FlopsBudgetSelector(device="D", budget_flops=budget, allow_degradation=False)
+        result = tight.select(clustering, algorithms)
+        assert result.cluster == 1
+
+    def test_validation(self, table1_setup):
+        _, algorithms, _, clustering = table1_setup
+        with pytest.raises(ValueError):
+            FlopsBudgetSelector(device="D", budget_flops=-1)
+        with pytest.raises(KeyError):
+            FlopsBudgetSelector(device="D", budget_flops=1e20).select(
+                clustering, {"DDA": algorithms["DDA"]}
+            )
+
+
+class TestEnergyAwareSwitcher:
+    def _switcher(self, profiles, threshold=10.0, dissipation=5.0):
+        policy = SwitchingPolicy(
+            preferred="DDD", cooldown="DAA", device="D", threshold_j=threshold,
+            dissipation_j_per_invocation=dissipation,
+        )
+        return EnergyAwareSwitcher(policy=policy, profiles=profiles)
+
+    def test_simulation_switches_and_returns(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        trace = self._switcher(profiles).simulate(100)
+        assert trace.n_invocations == 100
+        assert trace.n_switches >= 2
+        assert 0 < trace.usage_fraction("DDD") < 1
+        assert trace.usage_fraction("DDD") + trace.usage_fraction("DAA") == pytest.approx(1.0)
+
+    def test_switching_reduces_device_energy_vs_static_preferred(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        switcher = self._switcher(profiles)
+        comparison = switcher.compare_with_static(100)
+        assert (
+            comparison["switching"]["device_energy_j"]
+            < comparison["static-DDD"]["device_energy_j"]
+        )
+        assert (
+            comparison["switching"]["device_energy_j"]
+            > comparison["static-DAA"]["device_energy_j"]
+        )
+
+    def test_huge_threshold_never_switches(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        trace = self._switcher(profiles, threshold=1e9).simulate(50)
+        assert trace.n_switches == 0
+        assert trace.usage_fraction("DDD") == 1.0
+
+    def test_validation(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        with pytest.raises(ValueError):
+            SwitchingPolicy(preferred="DDD", cooldown="DAA", device="D", threshold_j=0.0)
+        with pytest.raises(KeyError):
+            EnergyAwareSwitcher(
+                policy=SwitchingPolicy("DDD", "ZZZ", "D", 1.0), profiles=profiles
+            )
+        with pytest.raises(ValueError):
+            self._switcher(profiles).simulate(0)
+
+    def test_peak_energy_does_not_run_away(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        ddd_energy = profiles["DDD"].device_energy("D")
+        trace = self._switcher(profiles, threshold=5 * ddd_energy, dissipation=2 * ddd_energy).simulate(300)
+        # The accumulator stays bounded by threshold + one invocation worth of energy.
+        assert trace.peak_accumulated_j <= 5 * ddd_energy + ddd_energy + 1e-9
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates([1, 1], [2, 1])
+        assert not dominates([1, 1], [1, 1])
+        assert not dominates([1, 2], [2, 1])
+        with pytest.raises(ValueError):
+            dominates([1], [1, 2])
+
+    def test_front_contains_fastest_and_cheapest(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        front = pareto_front(profiles)
+        fastest = min(profiles, key=lambda label: profiles[label].time_s)
+        assert fastest in front
+        assert "DDD" in front  # zero operating cost is non-dominated
+        for values in front.values():
+            assert set(values) == {"time_s", "energy_j", "operating_cost"}
+
+    def test_front_excludes_dominated(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        front = pareto_front(profiles)
+        assert "AAD" not in front  # slower and costlier than DDD on every axis
+
+    def test_validation(self, table1_setup):
+        _, _, profiles, _ = table1_setup
+        with pytest.raises(ValueError):
+            pareto_front({})
+        with pytest.raises(ValueError):
+            pareto_front(profiles, criteria=())

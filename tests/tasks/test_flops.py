@@ -1,0 +1,93 @@
+"""Tests for FLOP-count formulas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import (
+    cholesky_flops,
+    frobenius_norm_flops,
+    gemm_flops,
+    gemv_flops,
+    matrix_add_flops,
+    regularized_least_squares_flops,
+    spd_solve_flops,
+    syrk_flops,
+    triangular_solve_flops,
+)
+from repro.tasks.flops import scalar_matrix_flops
+
+
+class TestFormulas:
+    def test_gemm(self):
+        assert gemm_flops(2, 3, 4) == 2 * 2 * 3 * 4
+        assert gemm_flops(100, 100, 100) == 2e6
+
+    def test_syrk(self):
+        assert syrk_flops(3, 5) == 3 * 4 * 5
+
+    def test_gemv(self):
+        assert gemv_flops(3, 4) == 24
+
+    def test_cholesky(self):
+        assert cholesky_flops(6) == pytest.approx(216 / 3)
+
+    def test_triangular_and_spd_solve(self):
+        assert triangular_solve_flops(4, 2) == 32
+        assert spd_solve_flops(4, 2) == pytest.approx(cholesky_flops(4) + 64)
+
+    def test_elementwise(self):
+        assert matrix_add_flops(3, 4) == 12
+        assert scalar_matrix_flops(3, 4) == 12
+        assert frobenius_norm_flops(3, 4) == 24
+
+    def test_rls_is_dominated_by_cubic_terms(self):
+        n = 200
+        flops = regularized_least_squares_flops(n)
+        # syrk + 2 gemm + chol/solves ~ 7.3 n^3
+        assert 6.5 * n**3 < flops < 8.5 * n**3
+
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (gemm_flops, (0, 1, 1)),
+            (syrk_flops, (1, 0)),
+            (gemv_flops, (-1, 2)),
+            (cholesky_flops, (0,)),
+            (triangular_solve_flops, (1, 0)),
+            (matrix_add_flops, (0, 1)),
+            (frobenius_norm_flops, (1, -2)),
+            (regularized_least_squares_flops, (0,)),
+        ],
+    )
+    def test_non_positive_dimensions_rejected(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+
+class TestProperties:
+    @given(n=st.integers(min_value=1, max_value=500), m=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_are_positive(self, n, m):
+        assert gemm_flops(n, m, n) > 0
+        assert syrk_flops(n, m) > 0
+        assert spd_solve_flops(n, m) > 0
+        assert regularized_least_squares_flops(n) > 0
+
+    @given(n=st.integers(min_value=2, max_value=400))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_problem_size(self, n):
+        assert regularized_least_squares_flops(n) > regularized_least_squares_flops(n - 1)
+        assert gemm_flops(n, n, n) > gemm_flops(n - 1, n - 1, n - 1)
+        assert cholesky_flops(n) > cholesky_flops(n - 1)
+
+    @given(
+        m=st.integers(min_value=1, max_value=100),
+        n=st.integers(min_value=1, max_value=100),
+        k=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gemm_symmetry_in_output_dimensions(self, m, n, k):
+        assert gemm_flops(m, n, k) == gemm_flops(n, m, k)
