@@ -30,8 +30,10 @@ Quickstart::
 from .core import (
     AnalysisResult,
     BootstrapComparator,
+    CachedCompareFn,
     Comparator,
     Comparison,
+    ComparisonEngine,
     FinalClustering,
     MannWhitneyComparator,
     MeanComparator,
@@ -65,6 +67,8 @@ __all__ = [
     "ScoreTable",
     "FinalClustering",
     "SortResult",
+    "ComparisonEngine",
+    "CachedCompareFn",
     "three_way_bubble_sort",
     "relative_scores",
     "final_assignment",

@@ -3,6 +3,8 @@
 Public surface:
 
 * three-way comparators (:mod:`repro.core.comparison`),
+* the comparison engine with outcome-matrix precomputation and caching
+  (:mod:`repro.core.engine`),
 * the bubble sort with rank merging (:mod:`repro.core.sorting`),
 * relative-score clustering and final assignment (:mod:`repro.core.clustering`),
 * score/clustering containers (:mod:`repro.core.scores`),
@@ -31,7 +33,9 @@ from .comparison import (
     MedianComparator,
     MinimumComparator,
     SingleStatisticComparator,
+    derive_pair_rng,
 )
+from .engine import CachedCompareFn, ComparisonEngine, coerce_measurements
 from .scores import ClusterEntry, FinalClustering, ScoreTable, make_final_clustering
 from .sorting import SortResult, SortStep, ranks_are_valid, three_way_bubble_sort
 from .stability import (
@@ -73,6 +77,11 @@ __all__ = [
     "MannWhitneyComparator",
     "IntervalOverlapComparator",
     "DEFAULT_QUANTILES",
+    "derive_pair_rng",
+    # engine
+    "ComparisonEngine",
+    "CachedCompareFn",
+    "coerce_measurements",
     # sorting
     "three_way_bubble_sort",
     "SortResult",

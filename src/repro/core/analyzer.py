@@ -10,6 +10,13 @@ relative-score clustering of Procedure 4 -- behind a single call::
     analysis.final              # deterministic clusters (Table I style)
     analysis.best_algorithms()  # the fastest performance class
 
+Every analysis is served through a per-table
+:class:`~repro.core.engine.ComparisonEngine`, so a deterministic comparator
+bootstraps each pair of algorithms exactly once no matter how many times
+Procedure 4 repeats the sort.  Whole sweeps of measurement tables (several
+chains, platforms or metrics) run as one campaign through
+:meth:`RelativePerformanceAnalyzer.analyze_many`, optionally across processes.
+
 The analyzer makes no assumption about what the measurements are (execution
 time, energy, ...); it only assumes that smaller is better unless the
 comparator says otherwise.
@@ -17,38 +24,23 @@ comparator says otherwise.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from .clustering import final_assignment, relative_scores
-from .comparison import BootstrapComparator, Comparator
+from .comparison import BootstrapComparator
+from .engine import ComparisonEngine, coerce_measurements
 from .scores import FinalClustering, ScoreTable
 from .sorting import SortResult, three_way_bubble_sort
-from .types import ArrayComparator, Label, bind_comparator
+from .types import ArrayComparator, Label
 
 __all__ = ["RelativePerformanceAnalyzer", "AnalysisResult"]
 
 
 MeasurementsLike = Mapping[Label, "np.ndarray | Sequence[float]"]
-
-
-def _coerce_measurements(measurements) -> dict[Label, np.ndarray]:
-    """Accept a plain mapping or anything exposing ``as_dict()`` (e.g. MeasurementSet)."""
-    if hasattr(measurements, "as_dict"):
-        measurements = measurements.as_dict()
-    if not isinstance(measurements, Mapping):
-        raise TypeError("measurements must be a mapping of label -> array of measurements")
-    coerced: dict[Label, np.ndarray] = {}
-    for label, values in measurements.items():
-        arr = np.asarray(values, dtype=float).ravel()
-        if arr.size == 0:
-            raise ValueError(f"algorithm {label!r} has no measurements")
-        coerced[label] = arr
-    if not coerced:
-        raise ValueError("at least one algorithm is required")
-    return coerced
 
 
 @dataclass(frozen=True)
@@ -90,6 +82,13 @@ class AnalysisResult:
         return "\n".join(lines)
 
 
+def _analyze_campaign(
+    analyzer: "RelativePerformanceAnalyzer", key, data: Mapping[Label, np.ndarray]
+):
+    """Process-pool worker: analyze one campaign entry (module-level for pickling)."""
+    return key, analyzer.analyze(data)
+
+
 @dataclass
 class RelativePerformanceAnalyzer:
     """Cluster equivalent algorithms into performance classes from their measurements.
@@ -121,6 +120,19 @@ class RelativePerformanceAnalyzer:
             raise TypeError("comparator must expose a compare(a, b) method")
 
     # ------------------------------------------------------------------
+    def engine_for(self, measurements: MeasurementsLike) -> ComparisonEngine:
+        """Comparison engine bound to this analyzer's comparator and one measurement table."""
+        return ComparisonEngine(measurements, self.comparator)
+
+    def _score_with(self, labels: Sequence[Label], engine: ComparisonEngine) -> ScoreTable:
+        return relative_scores(
+            labels,
+            engine,
+            repetitions=self.repetitions,
+            rng=self.seed,
+            shuffle=self.shuffle,
+        )
+
     def rank_once(
         self,
         measurements: MeasurementsLike,
@@ -128,41 +140,39 @@ class RelativePerformanceAnalyzer:
         record_trace: bool = False,
     ) -> SortResult:
         """Run a single three-way bubble sort (Procedure 1) over the measurements."""
-        data = _coerce_measurements(measurements)
+        data = coerce_measurements(measurements)
         labels = list(order) if order is not None else list(data)
         missing = [label for label in labels if label not in data]
         if missing:
             raise KeyError(f"no measurements for algorithms {missing!r}")
-        compare = bind_comparator(self.comparator, data)
-        return three_way_bubble_sort(labels, compare, record_trace=record_trace)
+        # A single sort over a subset of the table touches few pairs; keep the
+        # engine lazy there instead of precomputing the full p x p matrix.
+        subset = len(labels) < len(data)
+        engine = ComparisonEngine(
+            data, self.comparator, precompute=False if subset else None
+        )
+        return three_way_bubble_sort(labels, engine, record_trace=record_trace)
 
     def score(self, measurements: MeasurementsLike) -> ScoreTable:
         """Relative scores per rank (Procedure 4) without the final assignment."""
-        data = _coerce_measurements(measurements)
-        compare = bind_comparator(self.comparator, data)
-        return relative_scores(
-            list(data),
-            compare,
-            repetitions=self.repetitions,
-            rng=self.seed,
-            shuffle=self.shuffle,
-        )
+        engine = self.engine_for(measurements)
+        return self._score_with(engine.labels, engine)
 
     def analyze(self, measurements: MeasurementsLike) -> AnalysisResult:
-        """Full pipeline: canonical sort, relative scores and final clustering."""
-        data = _coerce_measurements(measurements)
-        compare = bind_comparator(self.comparator, data)
-        table = relative_scores(
-            list(data),
-            compare,
-            repetitions=self.repetitions,
-            rng=self.seed,
-            shuffle=self.shuffle,
-        )
+        """Full pipeline: canonical sort, relative scores and final clustering.
+
+        One :class:`~repro.core.engine.ComparisonEngine` backs the whole
+        analysis, so measurements are coerced and the comparator bound exactly
+        once; with a deterministic comparator every pair of algorithms is
+        bootstrapped at most once across all ``repetitions`` sorts *and* the
+        canonical sort.
+        """
+        engine = self.engine_for(measurements)
+        table = self._score_with(engine.labels, engine)
         final = final_assignment(table)
-        canonical = three_way_bubble_sort(list(data), compare)
+        canonical = three_way_bubble_sort(engine.labels, engine)
         return AnalysisResult(
-            measurements=data,
+            measurements=engine.arrays,
             score_table=table,
             final=final,
             canonical_sort=canonical,
@@ -171,3 +181,63 @@ class RelativePerformanceAnalyzer:
 
     # Backwards-friendly alias matching the paper's terminology.
     cluster = analyze
+
+    # ------------------------------------------------------------------
+    def analyze_many(
+        self,
+        campaigns: Mapping[Label, MeasurementsLike],
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> dict[Label, AnalysisResult]:
+        """Analyze several measurement tables as one (optionally parallel) campaign.
+
+        Each campaign entry is analyzed by an *independent copy* of this
+        analyzer, so the result of every key equals
+        ``copy.deepcopy(analyzer).analyze(measurements)`` regardless of dict
+        order, of the other entries, or of how many workers run -- this
+        matters for stochastic comparators, whose internal generator would
+        otherwise thread state from one campaign into the next.
+
+        Parameters
+        ----------
+        campaigns:
+            Mapping from a campaign key (any hashable: scenario name, loop
+            size, metric, platform, ...) to its measurement table.
+        parallel:
+            Analyze campaigns in a :class:`concurrent.futures.ProcessPoolExecutor`.
+            Requires the comparator to be picklable (all built-in comparators
+            are).
+        max_workers:
+            Worker-process cap for the parallel mode (``None`` = executor
+            default).
+
+        Returns
+        -------
+        dict
+            ``key -> AnalysisResult`` in the input key order.
+        """
+        coerced = {key: coerce_measurements(m) for key, m in campaigns.items()}
+        if not coerced:
+            raise ValueError("at least one campaign is required")
+        if parallel and len(coerced) > 1:
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+
+            # Never more workers than campaigns, and by default never more
+            # than cores: each worker is a full interpreter importing numpy.
+            workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+            results: dict[Label, AnalysisResult] = {}
+            with ProcessPoolExecutor(max_workers=min(workers, len(coerced))) as pool:
+                futures = [
+                    pool.submit(_analyze_campaign, self, key, data)
+                    for key, data in coerced.items()
+                ]
+                for future in futures:
+                    key, analysis = future.result()
+                    results[key] = analysis
+            return {key: results[key] for key in coerced}
+        return {
+            key: copy.deepcopy(self).analyze(data)
+            for key, data in coerced.items()
+        }

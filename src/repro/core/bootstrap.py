@@ -23,6 +23,7 @@ __all__ = [
     "bootstrap_samples",
     "bootstrap_statistic",
     "bootstrap_quantiles",
+    "batched_quantile_profiles",
     "percentile_interval",
     "BootstrapInterval",
 ]
@@ -37,6 +38,15 @@ def _as_1d_float(data: np.ndarray | Sequence[float], name: str = "data") -> np.n
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} contains non-finite values")
     return arr
+
+
+def _validate_quantiles(quantiles: Sequence[float]) -> np.ndarray:
+    q = np.asarray(quantiles, dtype=float)
+    if q.ndim != 1 or q.size == 0:
+        raise ValueError("quantiles must be a non-empty 1-D sequence")
+    if np.any((q < 0.0) | (q > 1.0)):
+        raise ValueError("quantiles must lie in [0, 1]")
+    return q
 
 
 def bootstrap_indices(
@@ -97,14 +107,52 @@ def bootstrap_quantiles(
     Returns an array of shape ``(n_resamples, len(quantiles))`` where row ``r``
     holds the requested quantiles of the ``r``-th resample.
     """
-    q = np.asarray(quantiles, dtype=float)
-    if q.ndim != 1 or q.size == 0:
-        raise ValueError("quantiles must be a non-empty 1-D sequence")
-    if np.any((q < 0.0) | (q > 1.0)):
-        raise ValueError("quantiles must lie in [0, 1]")
+    q = _validate_quantiles(quantiles)
     samples = bootstrap_samples(data, n_resamples, rng)
     # np.quantile with axis=-1 returns shape (len(q), n_resamples); transpose once.
     return np.quantile(samples, q, axis=-1).T
+
+
+def batched_quantile_profiles(
+    sample_matrices: Sequence[np.ndarray],
+    quantiles: Sequence[float],
+) -> np.ndarray:
+    """Quantile profiles of many ``(n_resamples, n)`` resample matrices at once.
+
+    The comparison engine stacks the resample matrices of *all* algorithm pairs
+    and evaluates ``np.quantile`` on the stacked batch instead of once per
+    matrix, which is where the per-call overhead of the pairwise bootstrap
+    goes.  Matrices are grouped by sample width ``n`` (measurement vectors of
+    different lengths cannot share a stack), so the number of ``np.quantile``
+    evaluations equals the number of distinct widths, not the number of pairs.
+
+    Returns an array of shape ``(len(sample_matrices), n_resamples, len(quantiles))``
+    whose slice ``k`` is bitwise identical to
+    ``np.quantile(sample_matrices[k], quantiles, axis=-1).T`` (the quantile of
+    each slice of a batch is computed independently, with the same arithmetic
+    as the unbatched call).
+    """
+    q = _validate_quantiles(quantiles)
+    matrices = list(sample_matrices)
+    if not matrices:
+        return np.empty((0, 0, q.size))
+    n_resamples = matrices[0].shape[0]
+    for m in matrices:
+        if m.ndim != 2 or m.shape[0] != n_resamples:
+            raise ValueError(
+                f"all resample matrices must share the shape ({n_resamples}, n), got {m.shape}"
+            )
+    out = np.empty((len(matrices), n_resamples, q.size))
+    by_width: dict[int, list[int]] = {}
+    for index, m in enumerate(matrices):
+        by_width.setdefault(m.shape[1], []).append(index)
+    for indices in by_width.values():
+        stacked = np.stack([matrices[i] for i in indices])
+        # (len(q), group, n_resamples) -> (group, n_resamples, len(q))
+        profiles = np.quantile(stacked, q, axis=-1).transpose(1, 2, 0)
+        for slot, index in enumerate(indices):
+            out[index] = profiles[slot]
+    return out
 
 
 @dataclass(frozen=True)

@@ -60,9 +60,12 @@ def relative_scores(
         Algorithm identifiers.
     compare:
         Label-level three-way comparison (bind a comparator to measurements
-        with :func:`repro.core.types.bind_comparator`).  The measurements are
-        *not* re-collected between repetitions -- only the procedure is
-        repeated, exactly as in the paper (footnote 5).
+        with :func:`repro.core.types.bind_comparator`, or hand in a
+        :class:`repro.core.engine.ComparisonEngine` directly -- the engine
+        caches deterministic comparators so each pair is bootstrapped at most
+        once across all repetitions).  The measurements are *not* re-collected
+        between repetitions -- only the procedure is repeated, exactly as in
+        the paper (footnote 5).
     repetitions:
         Number of repetitions ``Rep``.
     rng:

@@ -17,13 +17,20 @@ overlap comparator.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 from scipy import stats
 
-from .bootstrap import bootstrap_quantiles, percentile_interval
+from .bootstrap import (
+    batched_quantile_profiles,
+    bootstrap_indices,
+    bootstrap_quantiles,
+    bootstrap_statistic,
+    percentile_interval,
+)
 from .types import Comparison
 
 __all__ = [
@@ -36,6 +43,7 @@ __all__ = [
     "MannWhitneyComparator",
     "IntervalOverlapComparator",
     "DEFAULT_QUANTILES",
+    "derive_pair_rng",
 ]
 
 #: Quantile profile used by default: the bulk of the distribution, ignoring
@@ -44,14 +52,33 @@ __all__ = [
 DEFAULT_QUANTILES: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
 
 
-def _validate(a: np.ndarray | Sequence[float], b: np.ndarray | Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+def _validate_one(a: np.ndarray | Sequence[float]) -> np.ndarray:
     va = np.asarray(a, dtype=float).ravel()
-    vb = np.asarray(b, dtype=float).ravel()
-    if va.size == 0 or vb.size == 0:
-        raise ValueError("both measurement arrays must be non-empty")
-    if not (np.all(np.isfinite(va)) and np.all(np.isfinite(vb))):
+    if va.size == 0:
+        raise ValueError("measurement arrays must be non-empty")
+    if not np.all(np.isfinite(va)):
         raise ValueError("measurement arrays must be finite")
-    return va, vb
+    return va
+
+
+def _validate(a: np.ndarray | Sequence[float], b: np.ndarray | Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    return _validate_one(a), _validate_one(b)
+
+
+def derive_pair_rng(seed: int, bytes_a: bytes, bytes_b: bytes) -> np.random.Generator:
+    """Generator derived from a pair of measurement blobs and a seed.
+
+    Comparators that bootstrap inside ``compare`` use this to stay reproducible
+    *per pair* regardless of how many other pairs were compared before: the
+    stream depends only on the data and the seed, not on call order, so
+    repeated comparisons of the same pair agree while different pairs draw
+    independent resamples.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(bytes_a)
+    h.update(b"|")
+    h.update(bytes_b)
+    return np.random.default_rng([int.from_bytes(h.digest(), "little"), seed])
 
 
 class Comparator:
@@ -59,6 +86,14 @@ class Comparator:
 
     #: If True (the default for execution time / energy), smaller values are better.
     lower_is_better: bool = True
+
+    # Deterministic contract (opt-in, per concrete class): a comparator whose
+    # ``compare(a, b)`` depends only on the data and fixed parameters/seeds --
+    # never on call order or per-call randomness -- declares ``stochastic =
+    # False``, which lets the comparison engine cache its outcomes.  The base
+    # class deliberately does NOT declare it: a subclass that draws fresh
+    # randomness per call and predates (or ignores) the contract is then
+    # conservatively never cached instead of silently frozen.
 
     def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -160,27 +195,33 @@ class BootstrapComparator(Comparator):
     # ------------------------------------------------------------------
     def _rng_for(self, bytes_a: bytes, bytes_b: bytes) -> np.random.Generator:
         """Derive a per-pair generator so comparisons are reproducible regardless of call order."""
-        import hashlib
+        return derive_pair_rng(self.seed, bytes_a, bytes_b)
 
-        h = hashlib.blake2b(digest_size=8)
-        h.update(bytes_a)
-        h.update(b"|")
-        h.update(bytes_b)
-        return np.random.default_rng([int.from_bytes(h.digest(), "little"), self.seed])
+    def _level_scores(self, qa: np.ndarray, qb: np.ndarray, axis: int) -> np.ndarray:
+        """Per-quantile-level scores for ``a`` (1 win, 0.5 tie, 0 loss) from
+        paired bootstrap quantile profiles.
+
+        ``axis`` is the resample axis: 0 for a single pair's ``(n_resamples,
+        len(quantiles))`` profiles, 1 for a batch of pairs stacked as
+        ``(pairs, n_resamples, len(quantiles))``.  Both the per-call and the
+        batched matrix path go through this one implementation, so the two can
+        never diverge.
+        """
+        alpha = 1.0 - self.confidence
+        lo_a, hi_a = np.quantile(qa, [alpha / 2.0, 1.0 - alpha / 2.0], axis=axis)
+        lo_b, hi_b = np.quantile(qb, [alpha / 2.0, 1.0 - alpha / 2.0], axis=axis)
+        mid_a = np.median(qa, axis=axis)
+        mid_b = np.median(qb, axis=axis)
+        tol = self.min_relative_difference * 0.5 * (np.abs(mid_a) + np.abs(mid_b))
+        a_wins = (hi_a < lo_b) & (mid_b - mid_a > tol)
+        b_wins = (hi_b < lo_a) & (mid_a - mid_b > tol)
+        return np.where(a_wins, 1.0, np.where(b_wins, 0.0, 0.5))
 
     def _score_levels(self, va: np.ndarray, vb: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Per-quantile-level scores for ``a``: 1 win, 0.5 tie, 0 loss."""
         qa = bootstrap_quantiles(va, self.quantiles, self.n_resamples, rng)
         qb = bootstrap_quantiles(vb, self.quantiles, self.n_resamples, rng)
-        alpha = 1.0 - self.confidence
-        lo_a, hi_a = np.quantile(qa, [alpha / 2.0, 1.0 - alpha / 2.0], axis=0)
-        lo_b, hi_b = np.quantile(qb, [alpha / 2.0, 1.0 - alpha / 2.0], axis=0)
-        mid_a = np.median(qa, axis=0)
-        mid_b = np.median(qb, axis=0)
-        tol = self.min_relative_difference * 0.5 * (np.abs(mid_a) + np.abs(mid_b))
-        a_wins = (hi_a < lo_b) & (mid_b - mid_a > tol)
-        b_wins = (hi_b < lo_a) & (mid_a - mid_b > tol)
-        return np.where(a_wins, 1.0, np.where(b_wins, 0.0, 0.5))
+        return self._level_scores(qa, qb, axis=0)
 
     def win_fraction(self, a: np.ndarray, b: np.ndarray) -> float:
         """Fraction of quantile levels won by ``a`` (ties count 0.5).
@@ -201,13 +242,91 @@ class BootstrapComparator(Comparator):
         rng = self._rng_for(bytes_a, bytes_b)
         return float(self._score_levels(va, vb, rng).mean())
 
-    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
-        f = self.win_fraction(a, b)
-        if f >= 0.5 + self.equivalence_margin:
+    def _from_fraction(self, f: float) -> Comparison:
+        """Map a win fraction to the three-way outcome via the equivalence band.
+
+        A fraction of exactly 0.5 is a perfect tie and is always equivalent,
+        even with ``equivalence_margin=0`` -- otherwise both directions of the
+        pair would claim ``BETTER`` and the relation would lose antisymmetry.
+        """
+        if f > 0.5 and f >= 0.5 + self.equivalence_margin:
             return self._oriented(a_better=True)
-        if f <= 0.5 - self.equivalence_margin:
+        if f < 0.5 and f <= 0.5 - self.equivalence_margin:
             return self._oriented(a_better=False)
         return Comparison.EQUIVALENT
+
+    def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
+        return self._from_fraction(self.win_fraction(a, b))
+
+    # -- batched precomputation (used by the comparison engine) --------------
+    def win_fraction_matrix(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Antisymmetric ``(p, p)`` matrix of win fractions in one vectorized pass.
+
+        Entry ``[i, j]`` equals ``win_fraction(arrays[i], arrays[j])`` bit for
+        bit: per pair the same canonicalisation and per-pair generator are
+        used, but the bootstrap quantile profiles of *all* pairs are stacked
+        into a single batch (:func:`repro.core.bootstrap.batched_quantile_profiles`)
+        and summarised with a handful of vectorized reductions instead of two
+        ``np.quantile`` round-trips per pair.  Only available in the
+        deterministic mode -- with ``stochastic=True`` every comparison must
+        draw fresh resamples, so there is no fixed matrix to precompute.
+        """
+        if self.stochastic:
+            raise ValueError(
+                "win_fraction_matrix requires the deterministic mode; "
+                "stochastic comparators draw fresh resamples per call"
+            )
+        vecs = [_validate_one(a) for a in arrays]
+        blobs = [np.ascontiguousarray(v).tobytes() for v in vecs]
+        p = len(vecs)
+        fractions = np.full((p, p), 0.5)
+        slots: list[tuple[int, int]] = []  # canonical (row, column) of each computed pair
+        for i in range(p):
+            for j in range(i + 1, p):
+                if blobs[i] == blobs[j]:
+                    continue  # identical data: win fraction stays 0.5
+                slots.append((i, j) if blobs[i] < blobs[j] else (j, i))
+        # Batch in chunks: peak memory is 2 * chunk * n_resamples * N floats
+        # regardless of p, while each chunk still amortises np.quantile over
+        # hundreds of pairs (per-slice results are independent, so chunking
+        # does not change a single bit).
+        chunk_pairs = 256
+        for start in range(0, len(slots), chunk_pairs):
+            chunk = slots[start : start + chunk_pairs]
+            sample_matrices: list[np.ndarray] = []
+            for x, y in chunk:
+                rng = self._rng_for(blobs[x], blobs[y])
+                # Same stream order as win_fraction: resample x first, then y.
+                sample_matrices.append(
+                    vecs[x][bootstrap_indices(vecs[x].size, self.n_resamples, rng)]
+                )
+                sample_matrices.append(
+                    vecs[y][bootstrap_indices(vecs[y].size, self.n_resamples, rng)]
+                )
+            profiles = batched_quantile_profiles(sample_matrices, self.quantiles)
+            qa, qb = profiles[0::2], profiles[1::2]  # (pairs, n_resamples, len(quantiles))
+            level_scores = self._level_scores(qa, qb, axis=1)
+            for (x, y), f in zip(chunk, level_scores.mean(axis=1)):
+                fractions[x, y] = float(f)
+                fractions[y, x] = 1.0 - float(f)
+        return fractions
+
+    def outcome_matrix(self, arrays: Sequence[np.ndarray]) -> list[list[Comparison]]:
+        """Full antisymmetric outcome matrix over a list of measurement arrays.
+
+        ``matrix[i][j]`` is the outcome of comparing ``arrays[i]`` against
+        ``arrays[j]`` (diagonal entries are ``EQUIVALENT``), computed from the
+        batched :meth:`win_fraction_matrix`.
+        """
+        fractions = self.win_fraction_matrix(arrays)
+        p = len(fractions)
+        return [
+            [
+                Comparison.EQUIVALENT if i == j else self._from_fraction(fractions[i, j])
+                for j in range(p)
+            ]
+            for i in range(p)
+        ]
 
 
 @dataclass
@@ -225,6 +344,9 @@ class SingleStatisticComparator(Comparator):
     rel_tolerance: float = 0.0
     lower_is_better: bool = True
     name: str = "statistic"
+
+    # Pure function of the data: opts into engine caching (not a dataclass field).
+    stochastic = False
 
     def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
         va, vb = _validate(a, b)
@@ -263,6 +385,9 @@ class MannWhitneyComparator(Comparator):
     alpha: float = 0.05
     lower_is_better: bool = True
 
+    # Pure function of the data: opts into engine caching (not a dataclass field).
+    stochastic = False
+
     def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
         va, vb = _validate(a, b)
         if np.array_equal(va, vb):
@@ -270,7 +395,20 @@ class MannWhitneyComparator(Comparator):
         result = stats.mannwhitneyu(va, vb, alternative="two-sided")
         if result.pvalue >= self.alpha:
             return Comparison.EQUIVALENT
-        return self._oriented(a_better=float(np.median(va)) < float(np.median(vb)))
+        med_a = float(np.median(va))
+        med_b = float(np.median(vb))
+        if med_a == med_b:
+            # A significant rank difference with *exactly* tied medians gives
+            # no defensible direction; calling it equivalent keeps the
+            # relation antisymmetric (the alternative would claim WORSE from
+            # both points of view).
+            return Comparison.EQUIVALENT
+        return self._oriented(a_better=med_a < med_b)
+
+
+def _median_profile(m: np.ndarray) -> np.ndarray:
+    """Default interval statistic: the median of each resample (picklable, unlike a lambda)."""
+    return np.median(m, axis=-1)
 
 
 @dataclass
@@ -280,21 +418,32 @@ class IntervalOverlapComparator(Comparator):
     The statistic (median by default) is bootstrapped for both algorithms; if
     the two percentile confidence intervals overlap the algorithms are
     equivalent, otherwise the direction is given by the interval ordering.
+
+    Resamples are drawn from a per-pair generator derived from the data and
+    the seed (like :meth:`BootstrapComparator._rng_for`), with the pair
+    internally canonicalised: repeated comparisons of the same pair agree,
+    different pairs draw independent resamples, and ``compare(a, b)`` is
+    exactly the flip of ``compare(b, a)``.
     """
 
-    statistic: Callable[[np.ndarray], np.ndarray] = field(
-        default=lambda m: np.median(m, axis=-1)
-    )
+    statistic: Callable[[np.ndarray], np.ndarray] = _median_profile
     confidence: float = 0.95
     n_resamples: int = 200
     lower_is_better: bool = True
     seed: int = 0
 
+    # Per-pair derived generators make this a pure function of data and seed.
+    stochastic = False
+
     def compare(self, a: np.ndarray, b: np.ndarray) -> Comparison:
         va, vb = _validate(a, b)
-        rng = np.random.default_rng(self.seed)
-        from .bootstrap import bootstrap_statistic  # local import avoids cycle at module load
-
+        bytes_a = np.ascontiguousarray(va).tobytes()
+        bytes_b = np.ascontiguousarray(vb).tobytes()
+        if bytes_a == bytes_b:
+            return Comparison.EQUIVALENT
+        if bytes_b < bytes_a:
+            return self.compare(vb, va).flipped()
+        rng = derive_pair_rng(self.seed, bytes_a, bytes_b)
         sa = bootstrap_statistic(va, self.statistic, self.n_resamples, rng)
         sb = bootstrap_statistic(vb, self.statistic, self.n_resamples, rng)
         ia = percentile_interval(sa, self.confidence)

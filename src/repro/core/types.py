@@ -137,15 +137,35 @@ def bind_comparator(
 
     The sorting and clustering procedures only ever see labels; this binder is
     the single place where labels are resolved to their measurement arrays.
-    """
+    Arrays are passed to the comparator exactly as given (shape preserved, no
+    validation).
 
+    Comparators that declare the deterministic contract (``stochastic``
+    attribute explicitly ``False``, declared by every deterministic built-in)
+    are additionally wrapped in the engine layer's lazily memoizing
+    :class:`repro.core.engine.CachedCompareFn`, so each unique pair is
+    evaluated at most once while binding itself stays O(1).  The cache serves
+    the reverse direction of a pair as the flip of the first-evaluated
+    direction, so the contract also requires antisymmetry (every built-in
+    comparator satisfies it); comparators that do not declare the contract
+    have every call forwarded verbatim.  (The analyzer's
+    own :class:`~repro.core.engine.ComparisonEngine` instances go further and
+    precompute the full outcome matrix in one vectorized batch, where all
+    pairs are known to be needed.)  ``stochastic=True`` comparators, and
+    comparators exposing no ``stochastic`` attribute at all, keep their
+    call-by-call behaviour untouched.
+    """
     arrays = {label: np.asarray(values, dtype=float) for label, values in measurements.items()}
 
     def compare(a: Label, b: Label) -> Comparison:
         try:
             va, vb = arrays[a], arrays[b]
-        except KeyError as exc:  # pragma: no cover - defensive
+        except KeyError as exc:
             raise KeyError(f"no measurements recorded for algorithm {exc.args[0]!r}") from exc
         return comparator.compare(va, vb)
 
-    return compare
+    if getattr(comparator, "stochastic", True) is not False:
+        return compare
+    from .engine import CachedCompareFn  # deferred: engine builds on these types
+
+    return CachedCompareFn(compare)

@@ -144,14 +144,12 @@ class SimulatedExecutor:
                 task_bytes += cost.transferred_bytes
                 busy_time += device.task_startup_overhead_s
             if alias != previous_device:
-                # The scalar penalty produced by the previous task crosses devices.
+                # The scalar penalty produced by the previous task crosses devices,
+                # travelling the direct previous->current link: device-to-device
+                # transfers are not staged through the host.
                 penalty_bytes = 8.0
-                route = (previous_device, alias) if previous_device != host and alias != host else (
-                    previous_device,
-                    alias,
-                )
-                transfer_time += self.platform.transfer_time(*route, penalty_bytes)
-                transfer_energy += self.platform.transfer_energy(*route, penalty_bytes)
+                transfer_time += self.platform.transfer_time(previous_device, alias, penalty_bytes)
+                transfer_energy += self.platform.transfer_energy(previous_device, alias, penalty_bytes)
                 task_bytes += penalty_bytes
 
             busy[alias] += busy_time

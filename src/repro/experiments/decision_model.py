@@ -42,6 +42,10 @@ class DecisionModelConfig:
     repetitions: int = 60
     seed: int = 0
     noise_level: float = 1.0
+    #: Analyze the loop-size campaign across worker processes
+    #: (:meth:`~repro.core.analyzer.RelativePerformanceAnalyzer.analyze_many`).
+    parallel: bool = False
+    max_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -99,35 +103,58 @@ class DecisionModelResult:
 
 
 def run(config: DecisionModelConfig | None = None) -> DecisionModelResult:
-    """Sweep the loop size and evaluate the cost/speed decision model."""
+    """Sweep the loop size and evaluate the cost/speed decision model.
+
+    The measurement phase walks the loop sizes, but the clustering of the
+    whole sweep runs as *one* batched campaign through
+    :meth:`~repro.core.analyzer.RelativePerformanceAnalyzer.analyze_many`
+    (optionally across processes with ``config.parallel``).  Each campaign
+    entry is analyzed by an independent analyzer copy, which matches the
+    previous one-fresh-analyzer-per-loop-size behaviour exactly.
+    """
     cfg = config or DecisionModelConfig()
     platform = cpu_gpu_platform()
-    sweep: list[SweepPoint] = []
-    decisions: dict[tuple[int, float], str] = {}
 
+    campaign: dict[int, MeasurementSet] = {}
+    profiles_by_n: dict[int, Mapping[str, AlgorithmProfile]] = {}
     for loop_size in cfg.loop_sizes:
+        if loop_size in campaign:
+            continue  # duplicate entries share one measurement + analysis (deterministic)
         executor = SimulatedExecutor(
             platform, noise=default_system_noise(cfg.noise_level), seed=cfg.seed + loop_size
         )
         chain = table1_chain(loop_size=loop_size)
         algorithms = enumerate_algorithms(chain, platform)
-        measurements = measure_algorithms(algorithms, executor, repetitions=cfg.n_measurements)
-        analyzer = default_analyzer(
-            seed=cfg.seed, repetitions=cfg.repetitions, n_measurements=cfg.n_measurements
+        campaign[loop_size] = measure_algorithms(algorithms, executor, repetitions=cfg.n_measurements)
+        profiles_by_n[loop_size] = profile_algorithms(algorithms, executor)
+
+    analyzer = default_analyzer(
+        seed=cfg.seed, repetitions=cfg.repetitions, n_measurements=cfg.n_measurements
+    )
+    analyses = analyzer.analyze_many(
+        campaign, parallel=cfg.parallel, max_workers=cfg.max_workers
+    )
+
+    sweep: list[SweepPoint] = []
+    decisions: dict[tuple[int, float], str] = {}
+    # Iterate the configured entries (not the deduplicated campaign keys) so a
+    # repeated loop size still yields one SweepPoint per entry, as before.
+    for loop_size in cfg.loop_sizes:
+        measurements = campaign[loop_size]
+        analysis = analyses[loop_size]
+        profiles = profiles_by_n[loop_size]
+        sweep.append(
+            SweepPoint(
+                loop_size=loop_size,
+                mean_ddd_s=measurements.mean("DDD"),
+                mean_dda_s=measurements.mean("DDA"),
+                speedup=measurements.speedup("DDD", "DDA"),
+                gap_s=measurements.mean("DDD") - measurements.mean("DDA"),
+                measurements=measurements,
+                analysis=analysis,
+                profiles=profiles,
+            )
         )
-        analysis = analyzer.analyze(measurements)
-        profiles = profile_algorithms(algorithms, executor)
-        point = SweepPoint(
-            loop_size=loop_size,
-            mean_ddd_s=measurements.mean("DDD"),
-            mean_dda_s=measurements.mean("DDA"),
-            speedup=measurements.speedup("DDD", "DDA"),
-            gap_s=measurements.mean("DDD") - measurements.mean("DDA"),
-            measurements=measurements,
-            analysis=analysis,
-            profiles=profiles,
-        )
-        sweep.append(point)
         for weight in cfg.cost_weights:
             model = DecisionModel(cost_weight=weight)
             decision = model.decide(analysis.final, profiles)

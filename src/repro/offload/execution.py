@@ -36,18 +36,36 @@ def measure_algorithms(
     algorithms: Iterable[OffloadedAlgorithm],
     executor: ChainExecutor,
     repetitions: int = 30,
+    metric: str = "time",
 ) -> MeasurementSet:
-    """Measure every algorithm ``repetitions`` times with the given executor."""
+    """Measure every algorithm ``repetitions`` times with the given executor.
+
+    ``metric`` selects what is measured: ``"time"`` (default, via
+    ``executor.measure``) or ``"energy"`` (via ``executor.energy_measure``,
+    provided by the simulated executor).
+    """
     algorithm_list = list(algorithms)
     if not algorithm_list:
         raise ValueError("at least one algorithm is required")
     labels = [algorithm.label for algorithm in algorithm_list]
     if len(set(labels)) != len(labels):
         raise ValueError(f"algorithm labels must be unique, got {labels}")
-    measurements = MeasurementSet(metric="execution time", unit="s")
+    if metric == "time":
+        measure = executor.measure
+        measurements = MeasurementSet(metric="execution time", unit="s")
+    elif metric == "energy":
+        if not hasattr(executor, "energy_measure"):
+            raise ValueError(
+                f"{type(executor).__name__} cannot measure energy: it does not "
+                "provide an energy_measure(chain, placement, repetitions) method"
+            )
+        measure = executor.energy_measure
+        measurements = MeasurementSet(metric="energy", unit="J")
+    else:
+        raise ValueError(f"unknown metric {metric!r}; choose 'time' or 'energy'")
     for algorithm in algorithm_list:
-        times = executor.measure(algorithm.chain, algorithm.placement.devices, repetitions)
-        measurements.add(algorithm.label, times)
+        values = measure(algorithm.chain, algorithm.placement.devices, repetitions)
+        measurements.add(algorithm.label, values)
     return measurements
 
 

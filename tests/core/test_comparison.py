@@ -158,6 +158,15 @@ class TestMannWhitneyComparator:
         sensitive = MannWhitneyComparator(alpha=0.2)
         assert sensitive.compare(a, b) is Comparison.BETTER
 
+    def test_significant_test_with_tied_medians_is_equivalent_and_antisymmetric(self):
+        """Hugely different distributions with identical medians give no direction:
+        both orderings must agree (the median tie-break used to claim WORSE twice)."""
+        a = np.array([-10.0] * 50 + [0.0] + [0.5] * 50)
+        b = np.array([-0.5] * 50 + [0.0] + [10.0] * 50)
+        comparator = MannWhitneyComparator()
+        assert comparator.compare(a, b) is Comparison.EQUIVALENT
+        assert comparator.compare(b, a) is Comparison.EQUIVALENT
+
 
 class TestIntervalOverlapComparator:
     def test_custom_statistic(self, rng):
@@ -167,3 +176,40 @@ class TestIntervalOverlapComparator:
         fast = _sample(rng, 1.0, 0.05)
         slow = _sample(rng, 3.0, 0.05)
         assert comparator.compare(fast, slow) is Comparison.BETTER
+
+    def test_repeated_comparisons_agree(self, rng):
+        """The per-pair generator depends only on the data and the seed."""
+        comparator = IntervalOverlapComparator(seed=2)
+        a = _sample(rng, 2.0, 0.3)
+        b = _sample(rng, 2.1, 0.3)
+        first = comparator.compare(a, b)
+        for _ in range(5):
+            assert comparator.compare(a, b) is first
+
+    def test_antisymmetry(self, rng):
+        comparator = IntervalOverlapComparator(seed=2)
+        for _ in range(10):
+            a = _sample(rng, rng.uniform(1, 3), 0.2)
+            b = _sample(rng, rng.uniform(1, 3), 0.2)
+            assert comparator.compare(a, b) is comparator.compare(b, a).flipped()
+
+    def test_pairs_draw_independent_resamples(self, rng):
+        """Different pairs derive different generators (no shared fixed stream)."""
+        from repro.core import derive_pair_rng
+
+        a = _sample(rng, 2.0, 0.3)
+        b = _sample(rng, 2.1, 0.3)
+        c = _sample(rng, 2.2, 0.3)
+        rng_ab = derive_pair_rng(0, a.tobytes(), b.tobytes())
+        rng_ac = derive_pair_rng(0, a.tobytes(), c.tobytes())
+        assert rng_ab.integers(0, 2**31, 8).tolist() != rng_ac.integers(0, 2**31, 8).tolist()
+
+    def test_default_statistic_is_picklable(self):
+        """Needed by analyze_many's process-parallel campaigns."""
+        import pickle
+
+        comparator = IntervalOverlapComparator(seed=0)
+        restored = pickle.loads(pickle.dumps(comparator))
+        data_a = np.array([1.0, 1.1, 0.9, 1.05])
+        data_b = np.array([5.0, 5.1, 4.9, 5.05])
+        assert restored.compare(data_a, data_b) is comparator.compare(data_a, data_b)
