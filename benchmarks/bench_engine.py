@@ -55,7 +55,7 @@ def _seed_analyze(measurements, comparator, repetitions, seed):
     return table, final, canonical
 
 
-def test_engine_speedup_over_seed_implementation(benchmark, bench_once):
+def test_engine_speedup_over_seed_implementation(benchmark, bench_once, bench_json):
     """>= 5x faster than the seed path on p=12 / N=30 / Rep=100, identical outputs."""
     measurements = _workload()
     seed = 0
@@ -77,6 +77,20 @@ def test_engine_speedup_over_seed_implementation(benchmark, bench_once):
     print(
         f"\nseed implementation: {seed_elapsed:.3f} s   engine: {engine_elapsed:.3f} s   "
         f"speedup: {speedup:.1f}x  (floor: {SPEEDUP_FLOOR}x)"
+    )
+
+    bench_json(
+        "engine",
+        {
+            "workload": {
+                "p_algorithms": P_ALGORITHMS,
+                "n_measurements": N_MEASUREMENTS,
+                "repetitions": REPETITIONS,
+            },
+            "seconds": {"seed": seed_elapsed, "engine": engine_elapsed},
+            "speedups": {"engine": speedup},
+            "floors": {"engine": SPEEDUP_FLOOR},
+        },
     )
 
     # Identical outputs, not just statistically equivalent ones.

@@ -9,6 +9,12 @@ fast enough to run after every change.
 
 from __future__ import annotations
 
+import json
+import os
+import platform as platform_module
+import time
+from pathlib import Path
+
 import pytest
 
 
@@ -21,3 +27,30 @@ def run_once(benchmark, fn, *args, **kwargs):
 def bench_once():
     """Fixture exposing :func:`run_once` to the benchmark modules."""
     return run_once
+
+
+def write_benchmark_json(name: str, payload: dict) -> Path:
+    """Write machine-readable benchmark results to ``BENCH_<name>.json``.
+
+    The file lands next to the benchmarks (override the directory with the
+    ``BENCH_JSON_DIR`` environment variable) and records the workload
+    parameters, wall times and speedups of one benchmark run, so the perf
+    trajectory of the hot paths is tracked across PRs in version control.
+    """
+    directory = Path(os.environ.get("BENCH_JSON_DIR", Path(__file__).parent))
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
+        "python": platform_module.python_version(),
+        **payload,
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    """Fixture exposing :func:`write_benchmark_json` to the benchmark modules."""
+    return write_benchmark_json

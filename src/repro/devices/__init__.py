@@ -18,6 +18,7 @@ from .catalog import (
     wifi_ac,
     xeon_8160_core,
 )
+from .batch import BatchExecutionResult, ChainCostTables, execute_placements
 from .device import DeviceSpec
 from .energy import EnergyBreakdown
 from .host import HostExecutor
@@ -34,6 +35,9 @@ __all__ = [
     "ExecutionRecord",
     "TaskExecutionRecord",
     "HostExecutor",
+    "BatchExecutionResult",
+    "ChainCostTables",
+    "execute_placements",
     # catalog
     "xeon_8160_core",
     "nvidia_p100",

@@ -1,0 +1,499 @@
+"""Vectorized batch execution engine: evaluate many placements in one pass.
+
+The sequential :meth:`~repro.devices.simulator.SimulatedExecutor.execute` walks
+a task chain in a Python loop, once per placement -- fine for the paper's
+``2**3 = 8`` splits, hopeless for the ``m**k`` spaces its conclusion worries
+about.  This module evaluates *all* placements of a chain at once:
+
+* :class:`ChainCostTables` precomputes, per ``(task, device)``, the busy time
+  (compute + startup), the host<->device transfer time/energy/bytes, and, per
+  ``(device, device)``, the penalty-link costs of the scalar crossing devices;
+* :func:`execute_placements` takes an ``(n_placements, n_tasks)`` integer
+  device-index matrix and computes every scalar field of an
+  :class:`~repro.devices.simulator.ExecutionRecord` with array operations.
+
+The arithmetic is organised so the results are **bitwise identical** to the
+sequential loop: per-task quantities come from the same scalar computations
+(the tables), and all accumulations fold left in task order exactly like the
+sequential accumulators (a plain ``np.sum`` would use pairwise summation and
+drift in the last ulp for long chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..tasks.chain import TaskChain
+from .energy import EnergyBreakdown
+from .platform import Platform
+from .simulator import (
+    PENALTY_MESSAGE_BYTES,
+    ExecutionRecord,
+    TaskExecutionRecord,
+)
+
+__all__ = [
+    "ChainCostTables",
+    "BatchExecutionResult",
+    "execute_placements",
+    "as_placement_matrix",
+    "placement_labels",
+]
+
+
+@dataclass(frozen=True)
+class ChainCostTables:
+    """Precomputed per-(task, device) and per-(device, device) cost tables.
+
+    ``aliases`` fixes the device-index encoding: placement matrices hold the
+    position of each task's device in this tuple.  All per-task tables have
+    shape ``(n_tasks, n_devices)``; the penalty tables have shape
+    ``(n_devices, n_devices)`` with the first-task (host -> device) costs kept
+    in separate vectors so the host does not need to be a candidate device.
+    """
+
+    # Task names only (not the TaskChain): the executor caches tables under a
+    # weakly-referenced chain key, and a strong back-reference here would keep
+    # every chain alive and defeat the cache's eviction.
+    task_names: tuple[str, ...]
+    platform: Platform
+    aliases: tuple[str, ...]
+    busy: np.ndarray
+    hostio_time: np.ndarray
+    hostio_bytes: np.ndarray
+    energy_in: np.ndarray
+    energy_out: np.ndarray
+    task_flops: np.ndarray
+    penalty_time: np.ndarray
+    penalty_energy: np.ndarray
+    penalty_bytes: np.ndarray
+    first_penalty_time: np.ndarray
+    first_penalty_energy: np.ndarray
+    first_penalty_bytes: np.ndarray
+    #: Device pairs without a platform link: their table entries are NaN, and
+    #: only placements that actually traverse such a pair are rejected (the
+    #: sequential executor likewise fails only when a transfer needs the link).
+    missing_links: frozenset = frozenset()
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_names)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.aliases)
+
+    @classmethod
+    def build(
+        cls, chain: TaskChain, platform: Platform, devices: Sequence[str] | None = None
+    ) -> "ChainCostTables":
+        """Precompute the cost tables of a chain for the given candidate devices.
+
+        ``devices`` defaults to every device of the platform (host first).
+        Requires a link between every pair of candidate devices and between the
+        host and every candidate -- the same connectivity the sequential
+        executor needs to run an arbitrary placement.
+        """
+        aliases = tuple(devices) if devices is not None else tuple(platform.aliases)
+        if not aliases:
+            raise ValueError("at least one device alias is required")
+        if len(set(aliases)) != len(aliases):
+            raise ValueError("device aliases must be unique")
+        platform.validate_aliases(aliases)
+        host = platform.host
+        costs = chain.costs()
+        k, m = len(chain), len(aliases)
+        missing: set[tuple[str, str]] = set()
+
+        busy = np.zeros((k, m))
+        hostio_time = np.zeros((k, m))
+        hostio_bytes = np.zeros((k, m))
+        energy_in = np.zeros((k, m))
+        energy_out = np.zeros((k, m))
+        task_flops = np.array([cost.flops for cost in costs], dtype=float)
+        for t, cost in enumerate(costs):
+            for d, alias in enumerate(aliases):
+                device = platform.device(alias)
+                busy_time = device.compute_time(cost)
+                if alias != host:
+                    try:
+                        # Same scalar expressions (and the same single additions)
+                        # as the sequential executor, so the tables are bitwise
+                        # exact.
+                        hostio_time[t, d] = platform.transfer_time(
+                            host, alias, cost.input_bytes
+                        ) + platform.transfer_time(alias, host, cost.output_bytes)
+                        energy_in[t, d] = platform.transfer_energy(host, alias, cost.input_bytes)
+                        energy_out[t, d] = platform.transfer_energy(alias, host, cost.output_bytes)
+                    except KeyError:
+                        missing.add((host, alias))
+                        hostio_time[t, d] = np.nan
+                        energy_in[t, d] = np.nan
+                        energy_out[t, d] = np.nan
+                    hostio_bytes[t, d] = cost.transferred_bytes
+                    busy_time += device.task_startup_overhead_s
+                busy[t, d] = busy_time
+
+        penalty_time = np.zeros((m, m))
+        penalty_energy = np.zeros((m, m))
+        penalty_bytes = np.zeros((m, m))
+        for i, a in enumerate(aliases):
+            for j, b in enumerate(aliases):
+                if a != b:
+                    try:
+                        penalty_time[i, j] = platform.transfer_time(a, b, PENALTY_MESSAGE_BYTES)
+                        penalty_energy[i, j] = platform.transfer_energy(
+                            a, b, PENALTY_MESSAGE_BYTES
+                        )
+                    except KeyError:
+                        missing.add((a, b))
+                        penalty_time[i, j] = np.nan
+                        penalty_energy[i, j] = np.nan
+                    penalty_bytes[i, j] = PENALTY_MESSAGE_BYTES
+
+        def _host_penalty(fn, alias):
+            if alias == host:
+                return 0.0
+            try:
+                return fn(host, alias, PENALTY_MESSAGE_BYTES)
+            except KeyError:
+                missing.add((host, alias))
+                return np.nan
+
+        first_penalty_time = np.array(
+            [_host_penalty(platform.transfer_time, alias) for alias in aliases]
+        )
+        first_penalty_energy = np.array(
+            [_host_penalty(platform.transfer_energy, alias) for alias in aliases]
+        )
+        first_penalty_bytes = np.array(
+            [0.0 if alias == host else PENALTY_MESSAGE_BYTES for alias in aliases]
+        )
+        return cls(
+            task_names=tuple(chain.task_names),
+            platform=platform,
+            aliases=aliases,
+            busy=busy,
+            hostio_time=hostio_time,
+            hostio_bytes=hostio_bytes,
+            energy_in=energy_in,
+            energy_out=energy_out,
+            task_flops=task_flops,
+            penalty_time=penalty_time,
+            penalty_energy=penalty_energy,
+            penalty_bytes=penalty_bytes,
+            first_penalty_time=first_penalty_time,
+            first_penalty_energy=first_penalty_energy,
+            first_penalty_bytes=first_penalty_bytes,
+            missing_links=frozenset(missing),
+        )
+
+
+def as_placement_matrix(
+    placements: np.ndarray | Iterable[Sequence[str] | str],
+    aliases: Sequence[str],
+    n_tasks: int,
+) -> np.ndarray:
+    """Normalise placements to an ``(n_placements, n_tasks)`` device-index matrix.
+
+    Accepts an integer matrix (validated and returned as-is up to dtype), or an
+    iterable of placements in any of the sequential executor's spellings
+    (strings like ``"DDA"``, alias tuples, :class:`~repro.offload.placement.Placement`).
+    """
+    if isinstance(placements, np.ndarray):
+        if placements.dtype.kind not in "iu":
+            raise TypeError("placement matrices must have an integer dtype")
+        matrix = np.atleast_2d(placements)
+        if matrix.ndim != 2 or matrix.shape[1] != n_tasks:
+            raise ValueError(
+                f"placement matrix has shape {placements.shape}, expected (*, {n_tasks})"
+            )
+        if matrix.shape[0] == 0:
+            raise ValueError("at least one placement is required")
+        if matrix.min() < 0 or matrix.max() >= len(aliases):
+            raise ValueError(
+                f"placement matrix entries must be device indices in [0, {len(aliases)})"
+            )
+        return matrix
+    index = {alias: i for i, alias in enumerate(aliases)}
+    rows = []
+    for placement in placements:
+        entries = tuple(placement)
+        if len(entries) != n_tasks:
+            raise ValueError(
+                f"placement {entries!r} has {len(entries)} entries but the chain has {n_tasks} tasks"
+            )
+        try:
+            rows.append([index[alias] for alias in entries])
+        except KeyError as exc:
+            raise KeyError(
+                f"placement {entries!r} uses a device not among the candidates {list(aliases)}"
+            ) from exc
+    if not rows:
+        raise ValueError("at least one placement is required")
+    return np.array(rows, dtype=np.intp)
+
+
+def placement_labels(matrix: np.ndarray, aliases: Sequence[str]) -> list[str]:
+    """Algorithm labels (``"DDA"``-style) for every row of a placement matrix."""
+    if all(len(alias) == 1 for alias in aliases):
+        # Vectorized join: view the (n, k) array of single characters as one
+        # k-character string per row.
+        lut = np.array(list(aliases), dtype="U1")
+        grid = np.ascontiguousarray(lut[matrix])
+        return grid.view(f"U{matrix.shape[1]}").ravel().tolist()
+    return ["".join(aliases[d] for d in row) for row in matrix.tolist()]
+
+
+@dataclass(frozen=True)
+class BatchExecutionResult:
+    """Array-form execution records of one batch: one row per placement.
+
+    Every vector/column is bitwise identical to the corresponding scalar field
+    of the sequential :class:`~repro.devices.simulator.ExecutionRecord`; use
+    :meth:`record` to materialise the full object form of one row on demand
+    (materialising millions of records would defeat the purpose of the batch).
+    Device columns follow ``tables.aliases``; platform devices outside the
+    candidate set have no column (they never run a task), but their idle
+    energy is still folded into ``energy_total_j``, exactly like the
+    sequential record.
+    """
+
+    tables: ChainCostTables
+    placements: np.ndarray
+    total_time_s: np.ndarray
+    busy_by_device: np.ndarray
+    flops_by_device: np.ndarray
+    transferred_bytes: np.ndarray
+    transfer_energy_j: np.ndarray
+    active_j: np.ndarray
+    idle_j: np.ndarray
+    energy_total_j: np.ndarray
+    operating_cost: np.ndarray
+
+    def __len__(self) -> int:
+        return self.placements.shape[0]
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        return self.tables.aliases
+
+    def placement(self, index: int) -> tuple[str, ...]:
+        return tuple(self.aliases[d] for d in self.placements[index])
+
+    def label(self, index: int) -> str:
+        return "".join(self.placement(index))
+
+    def labels(self) -> list[str]:
+        """Algorithm labels of every placement, in batch order."""
+        return placement_labels(self.placements, self.aliases)
+
+    def metric_values(self, metric: str = "time") -> np.ndarray:
+        """One scalar per placement: ``"time"``, ``"energy"`` or ``"cost"``."""
+        if metric == "time":
+            return self.total_time_s
+        if metric == "energy":
+            return self.energy_total_j
+        if metric == "cost":
+            return self.operating_cost
+        raise ValueError(f"unknown metric {metric!r}; choose 'time', 'energy' or 'cost'")
+
+    def argbest(self, metric: str = "time") -> int:
+        """Index of the best (minimal) placement under the given metric."""
+        return int(np.argmin(self.metric_values(metric)))
+
+    def top(self, k: int, metric: str = "time") -> np.ndarray:
+        """Indices of the ``k`` best placements, best first."""
+        values = self.metric_values(metric)
+        if not 0 < k <= values.size:
+            raise ValueError(f"k must be in [1, {values.size}]")
+        order = np.argsort(values, kind="stable")
+        return order[:k]
+
+    # ------------------------------------------------------------------
+    def record(self, index: int) -> ExecutionRecord:
+        """Materialise the full :class:`ExecutionRecord` of one placement.
+
+        Replays the sequential accumulation with scalars taken from the cost
+        tables, so every field -- including the per-task records -- is bitwise
+        identical to ``SimulatedExecutor.execute`` on the same placement.
+        """
+        t = self.tables
+        platform = t.platform
+        row = self.placements[index]
+        aliases_row = tuple(t.aliases[d] for d in row)
+
+        task_records: list[TaskExecutionRecord] = []
+        busy: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+        flops: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+        transferred = 0.0
+        transfer_energy = 0.0
+        total_time = 0.0
+        for pos, (task_name, d) in enumerate(zip(t.task_names, row)):
+            alias = t.aliases[d]
+            busy_time = float(t.busy[pos, d])
+            pen_time = float(t.first_penalty_time[d]) if pos == 0 else float(
+                t.penalty_time[row[pos - 1], d]
+            )
+            pen_bytes = float(t.first_penalty_bytes[d]) if pos == 0 else float(
+                t.penalty_bytes[row[pos - 1], d]
+            )
+            pen_energy = float(t.first_penalty_energy[d]) if pos == 0 else float(
+                t.penalty_energy[row[pos - 1], d]
+            )
+            transfer_time = float(t.hostio_time[pos, d]) + pen_time
+            task_bytes = float(t.hostio_bytes[pos, d]) + pen_bytes
+            transfer_energy += float(t.energy_in[pos, d])
+            transfer_energy += float(t.energy_out[pos, d])
+            transfer_energy += pen_energy
+            busy[alias] += busy_time
+            flops[alias] += float(t.task_flops[pos])
+            transferred += task_bytes
+            total_time += busy_time + transfer_time
+            task_records.append(
+                TaskExecutionRecord(
+                    task_name=task_name,
+                    device=alias,
+                    busy_time_s=busy_time,
+                    transfer_time_s=transfer_time,
+                    transferred_bytes=task_bytes,
+                    flops=float(t.task_flops[pos]),
+                )
+            )
+
+        active = {alias: platform.device(alias).active_energy(busy[alias]) for alias in busy}
+        idle = {
+            alias: platform.device(alias).idle_energy(max(total_time - busy[alias], 0.0))
+            for alias in busy
+        }
+        energy = EnergyBreakdown(active_j=active, idle_j=idle, transfer_j=transfer_energy)
+        cost_total = sum(
+            platform.device(alias).operating_cost(busy[alias]) for alias in busy
+        )
+        return ExecutionRecord(
+            placement=aliases_row,
+            tasks=tuple(task_records),
+            total_time_s=total_time,
+            busy_time_by_device=busy,
+            flops_by_device=flops,
+            transferred_bytes=transferred,
+            energy=energy,
+            operating_cost=cost_total,
+        )
+
+    def records(self) -> Iterator[ExecutionRecord]:
+        """Iterate the materialised records of every placement, in batch order."""
+        for index in range(len(self)):
+            yield self.record(index)
+
+
+def execute_placements(tables: ChainCostTables, placements: np.ndarray) -> BatchExecutionResult:
+    """Evaluate every placement row of the matrix against the cost tables.
+
+    ``placements`` must be an ``(n_placements, n_tasks)`` integer matrix of
+    positions into ``tables.aliases`` (see :func:`as_placement_matrix`).
+    """
+    P = as_placement_matrix(placements, tables.aliases, tables.n_tasks)
+    P = P.astype(np.intp, copy=False)  # one cast up front instead of per gather
+    n, k = P.shape
+    m = tables.n_devices
+    task_idx = np.arange(k)
+
+    busy_pt = tables.busy[task_idx, P]
+    hostio_time_pt = tables.hostio_time[task_idx, P]
+    hostio_bytes_pt = tables.hostio_bytes[task_idx, P]
+    energy_in_pt = tables.energy_in[task_idx, P]
+    energy_out_pt = tables.energy_out[task_idx, P]
+    pen_time_pt = np.empty((n, k))
+    pen_energy_pt = np.empty((n, k))
+    pen_bytes_pt = np.empty((n, k))
+    pen_time_pt[:, 0] = tables.first_penalty_time[P[:, 0]]
+    pen_energy_pt[:, 0] = tables.first_penalty_energy[P[:, 0]]
+    pen_bytes_pt[:, 0] = tables.first_penalty_bytes[P[:, 0]]
+    if k > 1:
+        src, dst = P[:, :-1], P[:, 1:]
+        pen_time_pt[:, 1:] = tables.penalty_time[src, dst]
+        pen_energy_pt[:, 1:] = tables.penalty_energy[src, dst]
+        pen_bytes_pt[:, 1:] = tables.penalty_bytes[src, dst]
+    transfer_pt = hostio_time_pt + pen_time_pt
+
+    if tables.missing_links and np.isnan(transfer_pt).any():
+        # A placement traverses a device pair without a platform link: reject
+        # it like the sequential executor does (placements avoiding the
+        # missing links evaluate fine on partially linked platforms).
+        i, t = (int(v) for v in np.argwhere(np.isnan(transfer_pt))[0])
+        current = tables.aliases[P[i, t]]
+        if np.isnan(hostio_time_pt[i, t]):
+            a, b = tables.platform.host, current
+        else:
+            a = tables.platform.host if t == 0 else tables.aliases[P[i, t - 1]]
+            b = current
+        raise KeyError(
+            f"no link defined between {a!r} and {b!r} "
+            f"(required by placement {placement_labels(P[i : i + 1], tables.aliases)[0]!r})"
+        )
+
+    # Left folds in task order: bitwise identical to the sequential accumulators.
+    total_time = np.zeros(n)
+    transferred = np.zeros(n)
+    transfer_energy = np.zeros(n)
+    busy_by_device = np.zeros((n, m))
+    flops_by_device = np.zeros((n, m))
+    for t in range(k):
+        total_time += busy_pt[:, t] + transfer_pt[:, t]
+        transferred += hostio_bytes_pt[:, t] + pen_bytes_pt[:, t]
+        transfer_energy += energy_in_pt[:, t]
+        transfer_energy += energy_out_pt[:, t]
+        transfer_energy += pen_energy_pt[:, t]
+        # Per-device accumulation via boolean masks (x * True == x, x * False
+        # == 0.0, and adding 0.0 is a bitwise no-op for our non-negative
+        # finite values) -- the same fold the sequential dict does, but
+        # without a fancy-index scatter per task.
+        col = P[:, t]
+        for d in range(m):
+            mask = col == d
+            busy_by_device[:, d] += busy_pt[:, t] * mask
+            flops_by_device[:, d] += tables.task_flops[t] * mask
+
+    platform = tables.platform
+    power_active = np.array([platform.device(a).power_active_w for a in tables.aliases])
+    power_idle = np.array([platform.device(a).power_idle_w for a in tables.aliases])
+    cost_per_hour = np.array([platform.device(a).cost_per_hour for a in tables.aliases])
+    active = busy_by_device * power_active
+    idle = np.maximum(total_time[:, None] - busy_by_device, 0.0) * power_idle
+
+    # The sequential path folds the per-device terms in platform order over
+    # *all* platform devices.  Platform devices absent from the candidate set
+    # have zero busy time there, so their active-energy and operating-cost
+    # terms are exactly 0.0 -- but they still idle for the whole execution,
+    # so their idle energy must enter the total.
+    column = {alias: j for j, alias in enumerate(tables.aliases)}
+    operating_cost = np.zeros(n)
+    active_sum = np.zeros(n)
+    idle_sum = np.zeros(n)
+    for alias in platform.devices:
+        j = column.get(alias)
+        if j is None:
+            idle_sum += np.maximum(total_time - 0.0, 0.0) * platform.device(alias).power_idle_w
+            continue
+        operating_cost += (cost_per_hour[j] * busy_by_device[:, j]) / 3600.0
+        active_sum += active[:, j]
+        idle_sum += idle[:, j]
+    energy_total = active_sum + idle_sum + transfer_energy
+
+    return BatchExecutionResult(
+        tables=tables,
+        placements=P,
+        total_time_s=total_time,
+        busy_by_device=busy_by_device,
+        flops_by_device=flops_by_device,
+        transferred_bytes=transferred,
+        transfer_energy_j=transfer_energy,
+        active_j=active,
+        idle_j=idle,
+        energy_total_j=energy_total,
+        operating_cost=operating_cost,
+    )

@@ -24,8 +24,9 @@ exactly as in Procedure 5 of the paper.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -35,7 +36,18 @@ from ..tasks.chain import TaskChain
 from .energy import EnergyBreakdown
 from .platform import Platform
 
-__all__ = ["TaskExecutionRecord", "ExecutionRecord", "SimulatedExecutor"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us)
+    from .batch import BatchExecutionResult, ChainCostTables
+
+__all__ = [
+    "PENALTY_MESSAGE_BYTES",
+    "TaskExecutionRecord",
+    "ExecutionRecord",
+    "SimulatedExecutor",
+]
+
+#: Size of the scalar penalty message exchanged between consecutive tasks.
+PENALTY_MESSAGE_BYTES = 8.0
 
 
 @dataclass(frozen=True)
@@ -96,14 +108,30 @@ class SimulatedExecutor:
         the calibrated system-noise composite.
     seed:
         Seed of the measurement-noise generator.
+    cache_executions:
+        Keep a shared cache of (chain, placement) -> record, so measuring and
+        profiling the same algorithm space no longer executes every chain
+        twice.  Records are deterministic functions of the (immutable)
+        platform, chain and placement, so caching never changes results.
+    execution_cache_size:
+        Maximum number of records kept per chain (new entries beyond the cap
+        are computed but not stored).
     """
 
     platform: Platform
     noise: NoiseModel = field(default_factory=default_system_noise)
     seed: int = 0
+    cache_executions: bool = True
+    execution_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        self._record_cache: "weakref.WeakKeyDictionary[TaskChain, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._tables_cache: "weakref.WeakKeyDictionary[TaskChain, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------
     def _normalise_placement(self, chain: TaskChain, placement: Sequence[str] | str) -> tuple[str, ...]:
@@ -116,8 +144,31 @@ class SimulatedExecutor:
         return aliases
 
     def execute(self, chain: TaskChain, placement: Sequence[str] | str) -> ExecutionRecord:
-        """Noise-free execution record of the chain under the given placement."""
+        """Noise-free execution record of the chain under the given placement.
+
+        Records are served from the shared execution cache when enabled, so
+        measuring and profiling the same placement executes the chain once.
+        """
         aliases = self._normalise_placement(chain, placement)
+        if not self.cache_executions:
+            return self._execute_uncached(chain, aliases)
+        per_chain = self._record_cache.get(chain)
+        if per_chain is None:
+            per_chain = {}
+            self._record_cache[chain] = per_chain
+        record = per_chain.get(aliases)
+        if record is None:
+            record = self._execute_uncached(chain, aliases)
+            if len(per_chain) < self.execution_cache_size:
+                per_chain[aliases] = record
+        return record
+
+    def clear_execution_cache(self) -> None:
+        """Drop every cached execution record and cost table."""
+        self._record_cache.clear()
+        self._tables_cache.clear()
+
+    def _execute_uncached(self, chain: TaskChain, aliases: tuple[str, ...]) -> ExecutionRecord:
         host = self.platform.host
 
         task_records: list[TaskExecutionRecord] = []
@@ -147,7 +198,7 @@ class SimulatedExecutor:
                 # The scalar penalty produced by the previous task crosses devices,
                 # travelling the direct previous->current link: device-to-device
                 # transfers are not staged through the host.
-                penalty_bytes = 8.0
+                penalty_bytes = PENALTY_MESSAGE_BYTES
                 transfer_time += self.platform.transfer_time(previous_device, alias, penalty_bytes)
                 transfer_energy += self.platform.transfer_energy(previous_device, alias, penalty_bytes)
                 task_bytes += penalty_bytes
@@ -225,3 +276,115 @@ class SimulatedExecutor:
             raise ValueError("repetitions must be positive")
         record = self.execute(chain, placement)
         return self.noise(record.energy.total_j, repetitions, self._rng)
+
+    # -- batch engine ---------------------------------------------------
+    def cost_tables(
+        self, chain: TaskChain, devices: Sequence[str] | None = None
+    ) -> "ChainCostTables":
+        """Precomputed (cached) cost tables of a chain on this platform."""
+        from .batch import ChainCostTables
+
+        key = tuple(devices) if devices is not None else tuple(self.platform.aliases)
+        per_chain = self._tables_cache.get(chain)
+        if per_chain is None:
+            per_chain = {}
+            self._tables_cache[chain] = per_chain
+        tables = per_chain.get(key)
+        if tables is None:
+            tables = ChainCostTables.build(chain, self.platform, key)
+            per_chain[key] = tables
+        return tables
+
+    def execute_batch(
+        self,
+        chain: TaskChain,
+        placements: np.ndarray | Iterable[Sequence[str] | str] | None = None,
+        devices: Sequence[str] | None = None,
+    ) -> "BatchExecutionResult":
+        """Evaluate many placements of one chain in a single vectorized pass.
+
+        ``placements`` is an ``(n_placements, n_tasks)`` device-index matrix
+        (see :func:`repro.offload.space.placement_matrix`), any iterable of
+        placements in the spellings :meth:`execute` accepts, or ``None`` for
+        the full ``m**k`` space in lexicographic order.  Every array field of
+        the result is bitwise identical to the sequential :meth:`execute`.
+        """
+        from .batch import execute_placements
+
+        tables = self.cost_tables(chain, devices)
+        if placements is None:
+            from ..offload.space import placement_matrix
+
+            placements = placement_matrix(len(chain), len(tables.aliases))
+        return execute_placements(tables, placements)
+
+    def iter_execute_batches(
+        self,
+        chain: TaskChain,
+        devices: Sequence[str] | None = None,
+        batch_size: int = 65536,
+    ) -> Iterator["BatchExecutionResult"]:
+        """Stream the full placement space in lexicographic chunks.
+
+        Bounds peak memory to ``O(batch_size * n_tasks)`` so spaces far beyond
+        what fits in RAM (the paper's combinatorial-explosion regime) can be
+        scanned incrementally.
+        """
+        from .batch import execute_placements
+        from ..offload.space import iter_placement_batches
+
+        tables = self.cost_tables(chain, devices)
+        for matrix in iter_placement_batches(len(chain), len(tables.aliases), batch_size):
+            yield execute_placements(tables, matrix)
+
+    def measure_batch(
+        self,
+        batch: "BatchExecutionResult",
+        repetitions: int = 30,
+        metric: str = "time",
+        rng_mode: str = "sequential",
+    ) -> MeasurementSet:
+        """Noisy measurement set for every placement of a batch execution.
+
+        ``rng_mode="sequential"`` (default) draws the noise per algorithm in
+        the same order as the per-placement :meth:`measure` loop, making the
+        resulting set **bit-for-bit identical** to it under the same seed.
+        ``rng_mode="batched"`` draws each noise stage once over the whole
+        ``(n_placements, repetitions)`` matrix -- same distribution, different
+        random stream, and much faster for very large spaces.
+        """
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        units = {"time": ("execution time", "s"), "energy": ("energy", "J")}
+        if metric not in units:
+            raise ValueError(f"unknown metric {metric!r}; choose 'time' or 'energy'")
+        bases = batch.metric_values(metric)
+        set_metric, unit = units[metric]
+        if rng_mode == "sequential":
+            noise, rng = self.noise, self._rng
+            values = np.empty((len(batch), repetitions))
+            for i, base in enumerate(bases.tolist()):
+                values[i] = noise(base, repetitions, rng)
+        elif rng_mode == "batched":
+            values = self.noise.sample_many(bases, repetitions, self._rng)
+        else:
+            raise ValueError(f"unknown rng_mode {rng_mode!r}; choose 'sequential' or 'batched'")
+        return MeasurementSet.from_matrix(batch.labels(), values, metric=set_metric, unit=unit)
+
+    def measure_all_batch(
+        self,
+        chain: TaskChain,
+        placements: np.ndarray | Iterable[Sequence[str] | str] | None = None,
+        repetitions: int = 30,
+        metric: str = "time",
+        devices: Sequence[str] | None = None,
+        rng_mode: str = "sequential",
+    ) -> MeasurementSet:
+        """Batched equivalent of :meth:`measure_all` (see :meth:`measure_batch`).
+
+        With the default ``rng_mode="sequential"`` the returned set is
+        bit-for-bit identical to calling :meth:`measure_all` on the same
+        placements with the same seed.
+        """
+        batch = self.execute_batch(chain, placements, devices=devices)
+        return self.measure_batch(batch, repetitions=repetitions, metric=metric, rng_mode=rng_mode)

@@ -21,7 +21,7 @@ from ..core.analyzer import AnalysisResult
 from ..devices import SimulatedExecutor, cpu_gpu_platform
 from ..measurement.dataset import MeasurementSet
 from ..measurement.noise import default_system_noise
-from ..offload import AlgorithmProfile, enumerate_algorithms, measure_algorithms, profile_algorithms
+from ..offload import AlgorithmProfile, enumerate_algorithms, profiles_from_batch
 from ..reporting import format_table
 from ..selection import DecisionModel
 from ..tasks import table1_chain
@@ -125,8 +125,11 @@ def run(config: DecisionModelConfig | None = None) -> DecisionModelResult:
         )
         chain = table1_chain(loop_size=loop_size)
         algorithms = enumerate_algorithms(chain, platform)
-        campaign[loop_size] = measure_algorithms(algorithms, executor, repetitions=cfg.n_measurements)
-        profiles_by_n[loop_size] = profile_algorithms(algorithms, executor)
+        # One batch execution per loop size serves both the measurements and
+        # the profiles (bit-for-bit identical to the per-placement loop).
+        space = executor.execute_batch(chain, [a.placement.devices for a in algorithms])
+        campaign[loop_size] = executor.measure_batch(space, repetitions=cfg.n_measurements)
+        profiles_by_n[loop_size] = profiles_from_batch(algorithms, space)
 
     analyzer = default_analyzer(
         seed=cfg.seed, repetitions=cfg.repetitions, n_measurements=cfg.n_measurements

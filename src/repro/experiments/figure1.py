@@ -90,6 +90,8 @@ def run(config: Figure1Config | None = None) -> Figure1Result:
     )
     chain = figure1_chain()
     algorithms = enumerate_algorithms(chain, platform)
+    # Routed through the batch execution engine (one vectorized pass over the
+    # whole space, bit-for-bit identical to the per-placement loop).
     measurements = measure_algorithms(algorithms, executor, repetitions=cfg.n_measurements)
     analyzer = default_analyzer(
         seed=cfg.seed, repetitions=cfg.repetitions, n_measurements=cfg.n_measurements

@@ -85,6 +85,8 @@ def run(config: Section3Config | None = None) -> Section3Result:
     )
     chain = figure1_chain()
     algorithms = enumerate_algorithms(chain, platform)
+    # Routed through the batch execution engine (one vectorized pass over the
+    # whole space, bit-for-bit identical to the per-placement loop).
     measurements = measure_algorithms(algorithms, executor, repetitions=cfg.n_measurements)
     analyzer = default_analyzer(
         seed=cfg.seed,

@@ -83,6 +83,40 @@ class MeasurementSet:
                 self.add(label, values)
 
     # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls,
+        labels: Sequence[Label],
+        matrix: np.ndarray,
+        metric: str = "execution time",
+        unit: str = "s",
+        require_positive: bool = True,
+    ) -> "MeasurementSet":
+        """Build a set from one matrix row of measurements per label.
+
+        Equivalent to :meth:`add`-ing every ``(label, row)`` pair, but the
+        validation (finiteness, positivity) runs as a single vectorized pass
+        over the whole matrix -- the fast path used by the batch simulation
+        engine for large placement spaces.  The stored vectors are views into
+        ``matrix``.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {np.shape(matrix)}")
+        if len(labels) != data.shape[0]:
+            raise ValueError(f"got {len(labels)} labels for {data.shape[0]} matrix rows")
+        if data.shape[1] == 0:
+            raise ValueError("measurements must not be empty")
+        if len(set(labels)) != len(labels):
+            raise ValueError("labels must be unique")
+        if not np.all(np.isfinite(data)):
+            raise ValueError(f"measurements for metric {metric!r} contain non-finite values")
+        if require_positive and np.any(data <= 0):
+            raise ValueError(f"measurements for metric {metric!r} must be strictly positive")
+        out = cls(metric=metric, unit=unit, require_positive=require_positive)
+        out._data = dict(zip(labels, data))
+        return out
+
     def _validate(self, label: Label, values: np.ndarray) -> np.ndarray:
         arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:

@@ -35,6 +35,21 @@ class NoiseModel:
         """Return ``n`` noisy measurements derived from ``base`` (seconds)."""
         raise NotImplementedError
 
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Transform an array of base values into noisy values, vectorized.
+
+        This is the composition hook used by :class:`CompositeNoise` and the
+        batch simulation engine: ``samples`` may have any shape, and the model
+        must treat every element as an independent base value (positional
+        models such as :class:`DriftNoise` interpret the *last* axis as the
+        repetition index).  The default implementation falls back to one
+        scalar draw per element; subclasses override it with a single
+        vectorized draw.
+        """
+        array = np.asarray(samples, dtype=float)
+        flat = np.array([self(value, 1, rng)[0] for value in array.ravel()])
+        return flat.reshape(array.shape)
+
     def __call__(self, base: float, n: int, rng: np.random.Generator) -> np.ndarray:
         if base <= 0:
             raise ValueError("base time must be positive")
@@ -44,6 +59,28 @@ class NoiseModel:
         # Measurements are physical durations: never allow zero/negative values.
         return np.maximum(samples, 1e-12)
 
+    def sample_many(
+        self, bases: Sequence[float] | np.ndarray, repetitions: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Matrix of noisy measurements: one row of ``repetitions`` values per base.
+
+        Statistically identical to calling the model once per base value, but
+        every noise stage draws its randomness in one shot over the whole
+        ``(len(bases), repetitions)`` matrix -- so the random stream differs
+        from the per-base path.  Used by the batch measurement engine's
+        ``rng_mode="batched"``.
+        """
+        base_array = np.asarray(bases, dtype=float)
+        if base_array.ndim != 1 or base_array.size == 0:
+            raise ValueError("bases must be a non-empty 1-D array")
+        if np.any(base_array <= 0):
+            raise ValueError("base times must be positive")
+        if repetitions <= 0:
+            raise ValueError("number of samples must be positive")
+        # Read-only broadcast view: the first noise stage materialises it.
+        samples = np.broadcast_to(base_array[:, None], (base_array.size, int(repetitions)))
+        return np.maximum(self.sample_from(samples, rng), 1e-12)
+
 
 @dataclass(frozen=True)
 class NoNoise(NoiseModel):
@@ -51,6 +88,9 @@ class NoNoise(NoiseModel):
 
     def sample(self, base: float, n: int, rng: np.random.Generator) -> np.ndarray:
         return np.full(n, base)
+
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(samples, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -70,6 +110,11 @@ class LognormalNoise(NoiseModel):
     def sample(self, base: float, n: int, rng: np.random.Generator) -> np.ndarray:
         return base * rng.lognormal(mean=0.0, sigma=self.sigma, size=n)
 
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        factors = rng.lognormal(mean=0.0, sigma=self.sigma, size=np.shape(samples))
+        factors *= samples  # in place into the freshly drawn array
+        return factors
+
 
 @dataclass(frozen=True)
 class GaussianNoise(NoiseModel):
@@ -83,6 +128,9 @@ class GaussianNoise(NoiseModel):
 
     def sample(self, base: float, n: int, rng: np.random.Generator) -> np.ndarray:
         return base * (1.0 + rng.normal(0.0, self.rel_sigma, size=n))
+
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return samples * (1.0 + rng.normal(0.0, self.rel_sigma, size=np.shape(samples)))
 
 
 @dataclass(frozen=True)
@@ -105,6 +153,11 @@ class OutlierNoise(NoiseModel):
         factors = np.where(rng.random(n) < self.probability, self.scale, 1.0)
         return base * factors
 
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        factors = np.where(rng.random(np.shape(samples)) < self.probability, self.scale, 1.0)
+        factors *= samples  # in place into the where-allocated array
+        return factors
+
 
 @dataclass(frozen=True)
 class DriftNoise(NoiseModel):
@@ -121,6 +174,14 @@ class DriftNoise(NoiseModel):
         ramp = 1.0 + self.total_drift * np.arange(n) / (n - 1)
         return base * ramp
 
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        # Positional model: the last axis is the repetition index of the campaign.
+        n = np.shape(samples)[-1]
+        if n == 1:
+            return np.asarray(samples, dtype=float)
+        ramp = 1.0 + self.total_drift * np.arange(n) / (n - 1)
+        return samples * ramp
+
 
 @dataclass(frozen=True)
 class AdditiveJitter(NoiseModel):
@@ -135,44 +196,30 @@ class AdditiveJitter(NoiseModel):
     def sample(self, base: float, n: int, rng: np.random.Generator) -> np.ndarray:
         return base + rng.exponential(self.scale_seconds, size=n)
 
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        jitter = rng.exponential(self.scale_seconds, size=np.shape(samples))
+        jitter += samples  # in place into the freshly drawn array
+        return jitter
+
 
 @dataclass(frozen=True)
 class CompositeNoise(NoiseModel):
     """Apply several noise models in sequence (each transforms the previous samples).
 
-    Multiplicative models compose naturally; the composite applies each model
-    to the *mean-preserved* base of the previous stage by feeding every sample
-    through the next stage individually.
+    Multiplicative models compose naturally; every stage transforms the whole
+    sample array of the previous stage through its vectorized
+    :meth:`NoiseModel.sample_from` hook (custom models without a vectorized
+    hook inherit the per-sample fallback of the base class).
     """
 
     models: Sequence[NoiseModel] = field(default_factory=tuple)
 
     def sample(self, base: float, n: int, rng: np.random.Generator) -> np.ndarray:
-        samples = np.full(n, base)
+        return self.sample_from(np.full(n, base), rng)
+
+    def sample_from(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         for model in self.models:
-            # Vectorised composition: treat each current sample as the base of the
-            # next stage and draw exactly one value for it.
-            transformed = np.empty(n)
-            # Draw stage-specific randomness in one shot where possible by using
-            # the model on the mean and rescaling; fall back to per-sample calls
-            # only for inherently positional models such as DriftNoise.
-            if isinstance(model, DriftNoise):
-                ramp = model.sample(1.0, n, rng)
-                transformed = samples * ramp
-            elif isinstance(model, AdditiveJitter):
-                transformed = samples + rng.exponential(model.scale_seconds, size=n)
-            elif isinstance(model, OutlierNoise):
-                factors = np.where(rng.random(n) < model.probability, model.scale, 1.0)
-                transformed = samples * factors
-            elif isinstance(model, LognormalNoise):
-                transformed = samples * rng.lognormal(0.0, model.sigma, size=n)
-            elif isinstance(model, GaussianNoise):
-                transformed = samples * (1.0 + rng.normal(0.0, model.rel_sigma, size=n))
-            elif isinstance(model, NoNoise):
-                transformed = samples
-            else:
-                transformed = np.array([model(s, 1, rng)[0] for s in samples])
-            samples = transformed
+            samples = model.sample_from(samples, rng)
         return samples
 
 

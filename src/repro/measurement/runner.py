@@ -85,8 +85,14 @@ class MeasurementRunner:
             fn = algorithms[label]
             for _ in range(self.warmup):
                 fn()
-        measurements = MeasurementSet(metric=self.metric, unit=self.unit)
+        # Buffer the per-label values in lists and materialise each vector once
+        # at the end: appending to the MeasurementSet per measurement would
+        # re-concatenate the full array every time (O(n^2) in the repetitions).
+        buffers: dict[Label, list[float]] = {}
         for label in self._execution_order(labels):
             duration = self.timer.time(algorithms[label])
-            measurements.record(label, max(duration, 1e-12))
+            buffers.setdefault(label, []).append(max(duration, 1e-12))
+        measurements = MeasurementSet(metric=self.metric, unit=self.unit)
+        for label, values in buffers.items():
+            measurements.extend(label, values)
         return measurements

@@ -1,9 +1,21 @@
 """Algorithm space induced by splitting a task chain among devices."""
 
 from .algorithm import OffloadedAlgorithm
-from .execution import AlgorithmProfile, measure_algorithms, profile_algorithms
+from .execution import (
+    AlgorithmProfile,
+    measure_algorithms,
+    profile_algorithms,
+    profiles_from_batch,
+)
 from .placement import Placement
-from .space import enumerate_algorithms, enumerate_placements, sample_algorithms
+from .space import (
+    enumerate_algorithms,
+    enumerate_placements,
+    iter_placement_batches,
+    placement_matrix,
+    sample_algorithms,
+    space_size,
+)
 
 __all__ = [
     "Placement",
@@ -11,7 +23,11 @@ __all__ = [
     "enumerate_placements",
     "enumerate_algorithms",
     "sample_algorithms",
+    "placement_matrix",
+    "iter_placement_batches",
+    "space_size",
     "measure_algorithms",
     "profile_algorithms",
+    "profiles_from_batch",
     "AlgorithmProfile",
 ]

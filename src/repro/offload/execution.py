@@ -15,12 +15,19 @@ from typing import Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from ..devices.batch import BatchExecutionResult
 from ..devices.simulator import ExecutionRecord, SimulatedExecutor
 from ..measurement.dataset import MeasurementSet
 from ..tasks.chain import TaskChain
 from .algorithm import OffloadedAlgorithm
 
-__all__ = ["ChainExecutor", "measure_algorithms", "profile_algorithms", "AlgorithmProfile"]
+__all__ = [
+    "ChainExecutor",
+    "measure_algorithms",
+    "profile_algorithms",
+    "profiles_from_batch",
+    "AlgorithmProfile",
+]
 
 
 class ChainExecutor(Protocol):
@@ -43,6 +50,12 @@ def measure_algorithms(
     ``metric`` selects what is measured: ``"time"`` (default, via
     ``executor.measure``) or ``"energy"`` (via ``executor.energy_measure``,
     provided by the simulated executor).
+
+    When every algorithm shares one chain and the executor provides the batch
+    engine (``measure_all_batch``), the whole space is evaluated in a single
+    vectorized pass; the noise is still drawn per algorithm in the same RNG
+    order, so the resulting set is bit-for-bit identical to the per-algorithm
+    loop.
     """
     algorithm_list = list(algorithms)
     if not algorithm_list:
@@ -50,6 +63,18 @@ def measure_algorithms(
     labels = [algorithm.label for algorithm in algorithm_list]
     if len(set(labels)) != len(labels):
         raise ValueError(f"algorithm labels must be unique, got {labels}")
+    if metric not in ("time", "energy"):
+        raise ValueError(f"unknown metric {metric!r}; choose 'time' or 'energy'")
+    chain = algorithm_list[0].chain
+    if (
+        hasattr(executor, "measure_all_batch")
+        and all(algorithm.chain is chain for algorithm in algorithm_list)
+        and not (metric == "energy" and not hasattr(executor, "energy_measure"))
+    ):
+        placements = [algorithm.placement.devices for algorithm in algorithm_list]
+        return executor.measure_all_batch(
+            chain, placements, repetitions=repetitions, metric=metric
+        )
     if metric == "time":
         measure = executor.measure
         measurements = MeasurementSet(metric="execution time", unit="s")
@@ -108,11 +133,46 @@ def profile_algorithms(
     algorithms: Iterable[OffloadedAlgorithm],
     executor: SimulatedExecutor,
 ) -> Mapping[str, AlgorithmProfile]:
-    """Noise-free profiles of every algorithm, keyed by label."""
+    """Noise-free profiles of every algorithm, keyed by label.
+
+    Records come from the executor's shared execution cache, so profiling a
+    space that was already measured does not re-execute any chain.
+    """
     profiles: dict[str, AlgorithmProfile] = {}
     for algorithm in algorithms:
         record = executor.execute(algorithm.chain, algorithm.placement.devices)
         profiles[algorithm.label] = AlgorithmProfile(algorithm=algorithm, record=record)
     if not profiles:
         raise ValueError("at least one algorithm is required")
+    return profiles
+
+
+def profiles_from_batch(
+    algorithms: Sequence[OffloadedAlgorithm],
+    batch: BatchExecutionResult,
+) -> Mapping[str, AlgorithmProfile]:
+    """Profiles materialised from one vectorized batch execution.
+
+    ``batch`` must hold one row per algorithm, in order (e.g. produced by
+    ``executor.execute_batch(chain, [a.placement.devices for a in algorithms])``);
+    the materialised records are bitwise identical to the sequential
+    :meth:`~repro.devices.simulator.SimulatedExecutor.execute`.
+    """
+    algorithm_list = list(algorithms)
+    if not algorithm_list:
+        raise ValueError("at least one algorithm is required")
+    if len(algorithm_list) != len(batch):
+        raise ValueError(
+            f"got {len(algorithm_list)} algorithms for a batch of {len(batch)} placements"
+        )
+    profiles: dict[str, AlgorithmProfile] = {}
+    for index, algorithm in enumerate(algorithm_list):
+        if batch.placement(index) != tuple(algorithm.placement.devices):
+            raise ValueError(
+                f"batch row {index} is placement {batch.label(index)!r}, "
+                f"but algorithm {index} is {algorithm.label!r}"
+            )
+        profiles[algorithm.label] = AlgorithmProfile(
+            algorithm=algorithm, record=batch.record(index)
+        )
     return profiles

@@ -10,7 +10,7 @@ combinatorially (the situation discussed in the paper's conclusion).
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -19,7 +19,66 @@ from ..tasks.chain import TaskChain
 from .algorithm import OffloadedAlgorithm
 from .placement import Placement
 
-__all__ = ["enumerate_placements", "enumerate_algorithms", "sample_algorithms"]
+__all__ = [
+    "enumerate_placements",
+    "enumerate_algorithms",
+    "sample_algorithms",
+    "placement_matrix",
+    "iter_placement_batches",
+    "space_size",
+]
+
+
+def space_size(n_tasks: int, n_devices: int) -> int:
+    """Number of placements of an ``n_tasks`` chain over ``n_devices`` (``m**k``)."""
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    return n_devices**n_tasks
+
+
+def placement_matrix(
+    n_tasks: int, n_devices: int, start: int = 0, stop: int | None = None
+) -> np.ndarray:
+    """Device-index matrix of the placement space, in lexicographic order.
+
+    Row ``i`` holds the base-``n_devices`` digits of ``start + i`` (most
+    significant digit first), so the rows enumerate placements in exactly the
+    order of :func:`enumerate_placements` -- but as a compact integer matrix
+    the batch execution engine consumes directly, without materialising
+    ``m**k`` :class:`Placement` objects.  ``start``/``stop`` select a
+    half-open slice of the space (used by :func:`iter_placement_batches` to
+    stream huge spaces in bounded memory).
+    """
+    total = space_size(n_tasks, n_devices)
+    if stop is None:
+        stop = total
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"invalid slice [{start}, {stop}) of a space of {total} placements")
+    indices = np.arange(start, stop, dtype=np.int64)
+    dtype = np.int8 if n_devices <= 127 else np.intp
+    matrix = np.empty((stop - start, n_tasks), dtype=dtype)
+    for column in range(n_tasks - 1, -1, -1):
+        matrix[:, column] = indices % n_devices
+        indices //= n_devices
+    return matrix
+
+
+def iter_placement_batches(
+    n_tasks: int, n_devices: int, batch_size: int = 65536
+) -> Iterator[np.ndarray]:
+    """Stream the full placement space as lexicographic chunks of the matrix.
+
+    Yields matrices of at most ``batch_size`` rows whose vertical
+    concatenation equals ``placement_matrix(n_tasks, n_devices)``; peak memory
+    stays bounded no matter how combinatorially the space explodes.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    total = space_size(n_tasks, n_devices)
+    for start in range(0, total, batch_size):
+        yield placement_matrix(n_tasks, n_devices, start, min(start + batch_size, total))
 
 
 def enumerate_placements(

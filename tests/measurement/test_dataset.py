@@ -112,3 +112,43 @@ class TestStatistics:
         ms = MeasurementSet({"base": [2.0, 2.0], "fast": [1.0, 1.0]})
         assert ms.speedup("base", "fast") == pytest.approx(2.0)
         assert ms.mean("base") == pytest.approx(2.0)
+
+
+class TestFromMatrix:
+    def test_rows_become_labelled_vectors(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        ms = MeasurementSet.from_matrix(["a", "b"], matrix, metric="energy", unit="J")
+        assert ms.labels == ["a", "b"]
+        assert ms.metric == "energy" and ms.unit == "J"
+        np.testing.assert_array_equal(ms["a"], [1.0, 2.0])
+        np.testing.assert_array_equal(ms["b"], [3.0, 4.0])
+
+    def test_equivalent_to_per_label_add(self):
+        rng = np.random.default_rng(0)
+        matrix = np.abs(rng.normal(1.0, 0.1, size=(4, 9)))
+        labels = ["w", "x", "y", "z"]
+        fast = MeasurementSet.from_matrix(labels, matrix)
+        slow = MeasurementSet()
+        for label, row in zip(labels, matrix):
+            slow.add(label, row)
+        assert fast.labels == slow.labels
+        for label in labels:
+            np.testing.assert_array_equal(fast[label], slow[label])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementSet.from_matrix(["a"], np.array([1.0, 2.0]))  # 1-D
+        with pytest.raises(ValueError):
+            MeasurementSet.from_matrix(["a", "b"], np.ones((1, 3)))  # label count
+        with pytest.raises(ValueError):
+            MeasurementSet.from_matrix(["a", "a"], np.ones((2, 3)))  # duplicates
+        with pytest.raises(ValueError):
+            MeasurementSet.from_matrix(["a"], np.empty((1, 0)))  # empty rows
+        with pytest.raises(ValueError):
+            MeasurementSet.from_matrix(["a"], np.array([[1.0, np.nan]]))  # non-finite
+        with pytest.raises(ValueError):
+            MeasurementSet.from_matrix(["a"], np.array([[1.0, -1.0]]))  # non-positive
+        negatives = MeasurementSet.from_matrix(
+            ["a"], np.array([[1.0, -1.0]]), require_positive=False
+        )
+        np.testing.assert_array_equal(negatives["a"], [1.0, -1.0])

@@ -124,3 +124,72 @@ class TestComposite:
         model = default_system_noise(level)
         samples = model(0.05, 50, np.random.default_rng(7))
         assert np.all(samples > 0)
+
+
+class TestSampleFromHooks:
+    """The vectorized sample_from hook every model exposes (batch engine API)."""
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_matches_scalar_sample_stream(self, model):
+        """sample(base, n) and sample_from(full(n, base)) draw the same stream."""
+        base, n = 0.25, 40
+        a = model.sample(base, n, np.random.default_rng(11))
+        b = model.sample_from(np.full(n, base), np.random.default_rng(11))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_matrix_input_keeps_shape(self, model, rng):
+        samples = np.full((5, 7), 0.4)
+        out = model.sample_from(samples, rng)
+        assert np.shape(out) == (5, 7)
+
+    def test_custom_model_inherits_per_sample_fallback(self, rng):
+        from repro.measurement.noise import NoiseModel
+
+        class Shift(NoiseModel):
+            def sample(self, base, n, generator):
+                return np.full(n, base * 1.1)
+
+        out = Shift().sample_from(np.array([[1.0, 2.0], [3.0, 4.0]]), rng)
+        np.testing.assert_allclose(out, [[1.1, 2.2], [3.3, 4.4]])
+
+    def test_drift_ramps_along_last_axis(self, rng):
+        out = DriftNoise(total_drift=1.0).sample_from(np.full((2, 5), 1.0), rng)
+        np.testing.assert_allclose(out[0], 1.0 + np.arange(5) / 4.0)
+        np.testing.assert_array_equal(out[0], out[1])
+
+    def test_sample_from_does_not_mutate_input(self, rng):
+        samples = np.full(10, 0.3)
+        for model in ALL_MODELS:
+            model.sample_from(samples, rng)
+        np.testing.assert_array_equal(samples, np.full(10, 0.3))
+
+
+class TestSampleMany:
+    def test_shape_and_positivity(self, rng):
+        bases = np.array([0.01, 0.5, 2.0])
+        out = default_system_noise().sample_many(bases, 50, rng)
+        assert out.shape == (3, 50)
+        assert np.all(out > 0)
+
+    def test_rows_center_on_their_base(self):
+        bases = np.array([0.1, 1.0, 10.0])
+        out = default_system_noise().sample_many(bases, 400, np.random.default_rng(0))
+        medians = np.median(out, axis=1)
+        np.testing.assert_allclose(medians, bases, rtol=0.1)
+
+    def test_no_noise_rows_are_exact(self, rng):
+        bases = np.array([0.25, 4.0])
+        out = NoNoise().sample_many(bases, 3, rng)
+        np.testing.assert_array_equal(out, np.repeat(bases[:, None], 3, axis=1))
+
+    def test_validation(self, rng):
+        model = default_system_noise()
+        with pytest.raises(ValueError):
+            model.sample_many(np.array([1.0, -1.0]), 5, rng)
+        with pytest.raises(ValueError):
+            model.sample_many(np.array([]), 5, rng)
+        with pytest.raises(ValueError):
+            model.sample_many(np.array([1.0]), 0, rng)
+        with pytest.raises(ValueError):
+            model.sample_many(np.ones((2, 2)), 5, rng)

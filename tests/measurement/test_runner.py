@@ -96,3 +96,41 @@ class TestMeasurementRunner:
 
         MeasurementRunner(repetitions=3, warmup=2).collect({"only": fn})
         assert counter["n"] == 5
+
+
+class TestCollectBuffering:
+    """collect buffers per-label values and extends once (not O(n^2) appends)."""
+
+    def _replica_collect(self, runner, algorithms):
+        """The old per-measurement record() loop, for output comparison."""
+        from repro.measurement import MeasurementSet
+
+        labels = list(algorithms)
+        for label in labels:
+            for _ in range(runner.warmup):
+                algorithms[label]()
+        measurements = MeasurementSet(metric=runner.metric, unit=runner.unit)
+        for label in runner._execution_order(labels):
+            duration = runner.timer.time(algorithms[label])
+            measurements.record(label, max(duration, 1e-12))
+        return measurements
+
+    @pytest.mark.parametrize("schedule", ["grouped", "round-robin", "shuffled"])
+    def test_same_resulting_set_as_per_measurement_appends(self, schedule):
+        runner = MeasurementRunner(repetitions=4, warmup=0, schedule=schedule, seed=3)
+        algorithms = {name: (lambda: sum(range(200))) for name in ("x", "y", "z")}
+        collected = runner.collect(dict(algorithms))
+        replica = self._replica_collect(runner, dict(algorithms))
+        # Same labels in the same (first-occurrence) insertion order, same sizes.
+        assert collected.labels == replica.labels
+        for label in collected.labels:
+            assert collected.n_measurements(label) == replica.n_measurements(label)
+
+    def test_collect_scales_linearly_in_repetitions(self):
+        # Smoke-check the O(n) path: many repetitions of a trivial callable
+        # complete quickly (the old concatenate-per-record path was quadratic).
+        runner = MeasurementRunner(repetitions=5000, warmup=0, schedule="grouped")
+        start = time.perf_counter()
+        ms = runner.collect({"only": lambda: None})
+        assert ms.n_measurements("only") == 5000
+        assert time.perf_counter() - start < 2.0
