@@ -1,0 +1,195 @@
+"""Benchmark the streaming search subsystem vs. materialize-then-select.
+
+Two measurements on the 4-device edge-cluster platform:
+
+* **select** (small, materializable space): pick top-K + Pareto winners the
+  seed way -- enumerate ``OffloadedAlgorithm`` objects, materialise an
+  ``AlgorithmProfile`` per placement, run ``pareto_front`` and a brute-force
+  ``min`` -- against one pass of ``repro.search.search_space`` over the same
+  space.  The selections must be element-for-element identical; the streaming
+  path must beat the materializing path by the speedup floor.
+
+* **stream** (large space, >= 1M placements): sweep the full space through
+  ``search_space`` under ``tracemalloc`` and assert the peak *traced
+  allocation* stays under a hard ceiling -- the bounded-memory claim: chunked
+  execution plus O(top_k + frontier) selection state, never per-placement
+  objects (the same space materialised as profiles would take gigabytes).
+
+Set ``BENCH_SEARCH_SMALL=1`` (the CI smoke job does) for reduced workloads
+with relaxed floors.  Results land in ``BENCH_search.json`` /
+``BENCH_search_small.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.devices import SimulatedExecutor, edge_cluster_platform
+from repro.measurement.noise import NoNoise
+from repro.offload import enumerate_algorithms, profiles_from_batch
+from repro.search import search_space
+from repro.selection import pareto_front
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+SMALL = os.environ.get("BENCH_SEARCH_SMALL", "") not in ("", "0")
+
+if SMALL:
+    SELECT_TASKS = 6  # 4**6 = 4096 placements, materializable
+    STREAM_TASKS = 8  # 4**8 = 65536 placements
+    SELECT_SPEEDUP_FLOOR = 2.0
+else:
+    SELECT_TASKS = 7  # 4**7 = 16384 placements, materializable
+    STREAM_TASKS = 10  # 4**10 = 1048576 placements (>= 1M)
+    SELECT_SPEEDUP_FLOOR = 4.0
+
+#: Peak traced allocations allowed while streaming the large space.  One
+#: 65536-row chunk is a few MB; the floor fails if per-placement state ever
+#: accumulates across chunks.
+STREAM_MEMORY_CEILING_MB = 192.0
+TOP_K = 10
+SEED = 0
+
+
+def _chain(n_tasks: int) -> TaskChain:
+    tasks = [
+        RegularizedLeastSquaresTask(size=100 + 40 * i, iterations=6, name=f"L{i + 1}")
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"bench-search-{n_tasks}")
+
+
+def _materialize_and_select(chain, platform, executor):
+    """The seed selection path: profile objects, pareto_front, brute-force min."""
+    algorithms = enumerate_algorithms(chain, platform)
+    space = executor.execute_batch(chain, [a.placement.devices for a in algorithms])
+    profiles = profiles_from_batch(algorithms, space)
+    front = pareto_front(profiles)
+    by_time = sorted(profiles, key=lambda label: (profiles[label].time_s, label))[:TOP_K]
+    by_energy = sorted(profiles, key=lambda label: (profiles[label].energy_j, label))[:TOP_K]
+    return profiles, front, by_time, by_energy
+
+
+def _streaming_select(chain, executor, **kwargs):
+    return search_space(
+        executor, chain, objectives=("time", "energy"), top_k=TOP_K, **kwargs
+    )
+
+
+def test_streaming_select_matches_and_beats_materialize(benchmark, bench_once, bench_json):
+    """Identical winners, at a fraction of the materializing path's cost."""
+    platform = edge_cluster_platform()
+    chain = _chain(SELECT_TASKS)
+    n_placements = len(platform.aliases) ** len(chain)
+
+    # Warm both paths on a tiny space (lazy imports, table caches).
+    warm_executor = SimulatedExecutor(platform, noise=NoNoise(), seed=SEED)
+    _materialize_and_select(_chain(3), platform, warm_executor)
+    _streaming_select(_chain(3), warm_executor)
+
+    gc.collect()
+    executor = SimulatedExecutor(platform, noise=NoNoise(), seed=SEED)
+    start = time.perf_counter()
+    result = _streaming_select(chain, executor)
+    streaming_s = time.perf_counter() - start
+
+    gc.collect()
+    executor = SimulatedExecutor(platform, noise=NoNoise(), seed=SEED)
+    start = time.perf_counter()
+    profiles, front, by_time, by_energy = _materialize_and_select(chain, platform, executor)
+    materialize_s = time.perf_counter() - start
+
+    # -- equivalence (untimed) ----------------------------------------------
+    assert set(result.frontier.labels) == set(front)
+    for label, values in result.frontier.as_dict().items():
+        assert values["time"] == profiles[label].time_s
+        assert values["energy"] == profiles[label].energy_j
+        assert values["cost"] == profiles[label].operating_cost
+    # Top-K values match the brute-force selection (labels may permute only
+    # within exact value ties, which the value comparison still pins down).
+    assert np.array_equal(
+        result.top["time"].values, np.array([profiles[l].time_s for l in by_time])
+    )
+    assert np.array_equal(
+        result.top["energy"].values, np.array([profiles[l].energy_j for l in by_energy])
+    )
+
+    speedup = materialize_s / streaming_s
+    print(
+        f"\n{platform.name}: top-{TOP_K} + Pareto over {n_placements} placements"
+        f"\n  materialize-then-select: {materialize_s:8.3f} s"
+        f"\n  streaming search:        {streaming_s:8.3f} s  "
+        f"({speedup:6.1f}x, floor {SELECT_SPEEDUP_FLOOR}x)"
+    )
+
+    bench_json(
+        "search_small" if SMALL else "search",
+        {
+            "workload": {
+                "platform": platform.name,
+                "n_devices": len(platform.aliases),
+                "select_tasks": SELECT_TASKS,
+                "select_placements": n_placements,
+                "stream_tasks": STREAM_TASKS,
+                "stream_placements": len(platform.aliases) ** STREAM_TASKS,
+                "top_k": TOP_K,
+                "small": SMALL,
+            },
+            "seconds": {
+                "materialize_then_select": materialize_s,
+                "streaming_select": streaming_s,
+            },
+            "speedups": {"streaming_select": speedup},
+            "floors": {
+                "streaming_select": SELECT_SPEEDUP_FLOOR,
+                "stream_memory_ceiling_mb": STREAM_MEMORY_CEILING_MB,
+            },
+        },
+    )
+    assert speedup >= SELECT_SPEEDUP_FLOOR, (
+        f"streaming selection regressed: {speedup:.1f}x < {SELECT_SPEEDUP_FLOOR}x "
+        f"vs materialize-then-select"
+    )
+
+    bench_once(benchmark, _streaming_select, chain, executor)
+
+
+def test_streaming_sweep_is_memory_bounded(benchmark, bench_once, bench_json):
+    """Sweep the large space; peak traced allocations stay under the ceiling."""
+    platform = edge_cluster_platform()
+    chain = _chain(STREAM_TASKS)
+    executor = SimulatedExecutor(platform, noise=NoNoise(), seed=SEED)
+    n_placements = len(platform.aliases) ** len(chain)
+
+    _streaming_select(_chain(3), executor)  # warm lazy imports
+
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = _streaming_select(chain, executor)
+    elapsed = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    peak_mb = peak_bytes / 2**20
+    throughput = n_placements / elapsed
+    print(
+        f"\n{platform.name}: streamed {n_placements} placements in {elapsed:.2f} s "
+        f"({throughput / 1e6:.2f} M placements/s under tracemalloc), "
+        f"peak traced memory {peak_mb:.1f} MiB (ceiling {STREAM_MEMORY_CEILING_MB} MiB)"
+    )
+    assert result.n_evaluated == n_placements
+    assert len(result.top["time"]) == TOP_K
+    assert len(result.frontier) >= 1
+    assert peak_mb <= STREAM_MEMORY_CEILING_MB, (
+        f"streaming sweep is no longer memory-bounded: peak {peak_mb:.1f} MiB "
+        f"> {STREAM_MEMORY_CEILING_MB} MiB ceiling"
+    )
+
+    # One measured round for the pytest-benchmark record (without tracemalloc,
+    # on a reduced space so the harness stays fast).
+    bench_once(benchmark, _streaming_select, _chain(max(STREAM_TASKS - 2, 3)), executor)

@@ -1,0 +1,122 @@
+"""Searching a placement space far too large to materialise.
+
+The paper's conclusion flags the combinatorial explosion of equivalent
+implementations -- with ``k`` tasks and ``m`` devices there are ``m**k`` of
+them -- and suggests applying the methodology "on a subset of possible
+solutions".  This example takes the opposite route for the *selection* stage:
+it sweeps the **entire** space of a 12-task chain over the 4-device edge
+cluster (``4**12 = 16,777,216`` placements) through the streaming search
+subsystem (`repro.search`), which
+
+* executes the space chunk by chunk with the vectorized batch engine,
+* filters each chunk against feasibility constraints (deadline, energy
+  budget, offload bound),
+* and keeps only bounded selection state: top-K winners per objective plus
+  the incremental Pareto frontier -- never 16.7M profile objects.
+
+Run with::
+
+    python examples/huge_space_search.py            # full 16.7M sweep
+    QUICK=1 python examples/huge_space_search.py    # 4**8 = 65,536 smoke run
+
+Set ``WORKERS=<n>`` to shard the sweep across processes (the result is
+identical for every worker count).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.devices import SimulatedExecutor, edge_cluster_platform
+from repro.measurement.noise import NoNoise
+from repro.search import (
+    DeadlineConstraint,
+    DecisionObjective,
+    EnergyBudgetConstraint,
+    MaxOffloadedConstraint,
+    search_space,
+)
+from repro.selection import DecisionModel
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+
+def build_chain(n_tasks: int) -> TaskChain:
+    """A chain of dependent RLS solves with growing computational volume.
+
+    The late tasks are heavy enough that offloading them (to the on-device
+    NPU or the remote accelerators) pays on time/energy, so the objectives
+    genuinely trade off and the Pareto frontier is non-trivial.
+    """
+    tasks = [
+        RegularizedLeastSquaresTask(size=100 + 40 * i, iterations=6, name=f"L{i + 1}")
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"rls-{n_tasks}")
+
+
+def main() -> None:
+    quick = os.environ.get("QUICK", "") not in ("", "0")
+    n_tasks = 8 if quick else 12
+    n_workers = int(os.environ.get("WORKERS", str(os.cpu_count() or 1)))
+
+    platform = edge_cluster_platform()
+    executor = SimulatedExecutor(platform, noise=NoNoise(), seed=0)
+    chain = build_chain(n_tasks)
+    m, k = len(platform.aliases), len(chain)
+    print(
+        f"platform {platform.name!r} ({', '.join(platform.aliases)}), "
+        f"{k}-task chain -> {m}**{k} = {m**k:,} placements"
+    )
+
+    # Scalar objectives: raw time, raw energy, and the decision-model
+    # objective (time + cost-weighted accelerator rent).
+    objectives = ("time", "energy", DecisionObjective(DecisionModel(cost_weight=1000.0)))
+
+    # Feasibility: meet a 1.5 s deadline, a 60 J energy budget, and offload at
+    # most 8 tasks away from the smartphone host.
+    constraints = (
+        DeadlineConstraint(max_time_s=1.5),
+        EnergyBudgetConstraint(max_energy_j=60.0),
+        MaxOffloadedConstraint(max_offloaded=8),
+    )
+
+    start = time.perf_counter()
+    result = search_space(
+        executor,
+        chain,
+        objectives=objectives,
+        top_k=10,
+        constraints=constraints,
+        n_workers=n_workers,
+    )
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"swept {result.n_evaluated:,} placements in {elapsed:.1f} s "
+        f"({result.n_evaluated / elapsed / 1e6:.2f} M placements/s, "
+        f"{n_workers} worker{'s' if n_workers != 1 else ''}); "
+        f"{result.n_feasible:,} feasible"
+    )
+    print()
+
+    for name, selection in result.top.items():
+        print(f"top {len(selection)} placements by {name}:")
+        for label, value in zip(selection.labels, selection.values):
+            print(f"  {label}  {value:.6g}")
+        print()
+
+    frontier = result.frontier
+    print(
+        f"Pareto frontier over {'/'.join(frontier.criteria)}: "
+        f"{len(frontier)} non-dominated placements"
+    )
+    for label, row in list(zip(frontier.labels, frontier.values))[:15]:
+        cells = ", ".join(f"{name}={value:.5g}" for name, value in zip(frontier.criteria, row))
+        print(f"  {label}  {cells}")
+    if len(frontier) > 15:
+        print(f"  ... and {len(frontier) - 15} more")
+
+
+if __name__ == "__main__":
+    main()

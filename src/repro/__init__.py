@@ -16,6 +16,8 @@ The package is organised as:
   chain between devices.
 * :mod:`repro.selection` -- decision models for algorithm selection (cost /
   FLOPs / energy-aware switching).
+* :mod:`repro.search` -- streaming search & selection over huge placement
+  spaces (top-K, incremental Pareto frontier, constraints, sharded sweeps).
 * :mod:`repro.experiments` -- one runner per paper table/figure.
 * :mod:`repro.reporting` -- text tables, ASCII histograms, CSV export.
 

@@ -3,6 +3,7 @@
 from .catalog import (
     PLATFORMS,
     cpu_gpu_platform,
+    edge_cluster_platform,
     edge_tpu_like,
     get_platform,
     gigabit_ethernet,
@@ -52,6 +53,7 @@ __all__ = [
     "cpu_gpu_platform",
     "raspberry_gpu_platform",
     "smartphone_cloud_platform",
+    "edge_cluster_platform",
     "PLATFORMS",
     "get_platform",
 ]

@@ -291,6 +291,25 @@ class BatchExecutionResult:
         """Algorithm labels of every placement, in batch order."""
         return placement_labels(self.placements, self.aliases)
 
+    def n_offloaded(self, host: str | None = None) -> np.ndarray:
+        """Per-placement count of tasks placed away from the host device.
+
+        The array form of ``Placement.n_offloaded``: one integer per batch row,
+        computed straight from the device-index matrix.  ``host`` defaults to
+        the platform host; a host outside the candidate ``aliases`` never runs
+        a task, so every task of every placement counts as offloaded.
+        """
+        alias = self.tables.platform.host if host is None else host
+        if alias not in self.tables.platform.devices:
+            raise KeyError(
+                f"unknown device alias {alias!r}; available: "
+                f"{sorted(self.tables.platform.devices)}"
+            )
+        if alias not in self.aliases:
+            return np.full(len(self), self.placements.shape[1], dtype=np.intp)
+        host_index = self.aliases.index(alias)
+        return np.count_nonzero(self.placements != host_index, axis=1)
+
     def metric_values(self, metric: str = "time") -> np.ndarray:
         """One scalar per placement: ``"time"``, ``"energy"`` or ``"cost"``."""
         if metric == "time":

@@ -32,6 +32,7 @@ __all__ = [
     "cpu_gpu_platform",
     "raspberry_gpu_platform",
     "smartphone_cloud_platform",
+    "edge_cluster_platform",
     "PLATFORMS",
     "get_platform",
 ]
@@ -213,11 +214,39 @@ def smartphone_cloud_platform() -> Platform:
     )
 
 
+def edge_cluster_platform() -> Platform:
+    """Four-device edge deployment: smartphone host, on-device NPU, edge server, cloud GPU.
+
+    The richest preset -- ``4**k`` placements for a ``k``-task chain -- used by
+    the streaming-search examples and benchmarks to exercise spaces that are
+    far too large to materialise (4 devices x 12 tasks is ~16.7M placements).
+    """
+    return Platform(
+        devices={
+            "D": smartphone_soc(),
+            "N": edge_tpu_like(),
+            "E": xeon_8160_core(),
+            "A": nvidia_p100(),
+        },
+        links={
+            ("D", "N"): usb3(),
+            ("D", "E"): gigabit_ethernet(),
+            ("D", "A"): lte(),
+            ("N", "E"): gigabit_ethernet(),
+            ("N", "A"): lte(),
+            ("E", "A"): gigabit_ethernet(),
+        },
+        host="D",
+        name="edge-cluster",
+    )
+
+
 #: Registry of named platforms for the experiment harness and examples.
 PLATFORMS = {
     "cpu-gpu": cpu_gpu_platform,
     "raspberry-gpu": raspberry_gpu_platform,
     "smartphone-cloud": smartphone_cloud_platform,
+    "edge-cluster": edge_cluster_platform,
 }
 
 

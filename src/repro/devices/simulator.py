@@ -323,18 +323,25 @@ class SimulatedExecutor:
         chain: TaskChain,
         devices: Sequence[str] | None = None,
         batch_size: int = 65536,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator["BatchExecutionResult"]:
-        """Stream the full placement space in lexicographic chunks.
+        """Stream a placement-space range in lexicographic chunks.
 
         Bounds peak memory to ``O(batch_size * n_tasks)`` so spaces far beyond
         what fits in RAM (the paper's combinatorial-explosion regime) can be
-        scanned incrementally.
+        scanned incrementally.  ``start``/``stop`` (defaulting to the whole
+        ``m**k`` space) select the half-open placement-index range to stream,
+        which is how :func:`repro.search.search_space` shards one sweep across
+        worker processes.
         """
         from .batch import execute_placements
         from ..offload.space import iter_placement_batches
 
         tables = self.cost_tables(chain, devices)
-        for matrix in iter_placement_batches(len(chain), len(tables.aliases), batch_size):
+        for matrix in iter_placement_batches(
+            len(chain), len(tables.aliases), batch_size, start=start, stop=stop
+        ):
             yield execute_placements(tables, matrix)
 
     def measure_batch(

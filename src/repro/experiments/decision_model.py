@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..core.analyzer import AnalysisResult
-from ..devices import SimulatedExecutor, cpu_gpu_platform
+from ..devices import BatchExecutionResult, SimulatedExecutor, cpu_gpu_platform
 from ..measurement.dataset import MeasurementSet
 from ..measurement.noise import default_system_noise
 from ..offload import AlgorithmProfile, enumerate_algorithms, profiles_from_batch
@@ -117,6 +117,7 @@ def run(config: DecisionModelConfig | None = None) -> DecisionModelResult:
 
     campaign: dict[int, MeasurementSet] = {}
     profiles_by_n: dict[int, Mapping[str, AlgorithmProfile]] = {}
+    spaces_by_n: dict[int, BatchExecutionResult] = {}
     for loop_size in cfg.loop_sizes:
         if loop_size in campaign:
             continue  # duplicate entries share one measurement + analysis (deterministic)
@@ -125,11 +126,13 @@ def run(config: DecisionModelConfig | None = None) -> DecisionModelResult:
         )
         chain = table1_chain(loop_size=loop_size)
         algorithms = enumerate_algorithms(chain, platform)
-        # One batch execution per loop size serves both the measurements and
-        # the profiles (bit-for-bit identical to the per-placement loop).
+        # One batch execution per loop size serves the measurements, the
+        # reporting profiles *and* the decisions (bit-for-bit identical to the
+        # per-placement loop).
         space = executor.execute_batch(chain, [a.placement.devices for a in algorithms])
         campaign[loop_size] = executor.measure_batch(space, repetitions=cfg.n_measurements)
         profiles_by_n[loop_size] = profiles_from_batch(algorithms, space)
+        spaces_by_n[loop_size] = space
 
     analyzer = default_analyzer(
         seed=cfg.seed, repetitions=cfg.repetitions, n_measurements=cfg.n_measurements
@@ -160,7 +163,10 @@ def run(config: DecisionModelConfig | None = None) -> DecisionModelResult:
         )
         for weight in cfg.cost_weights:
             model = DecisionModel(cost_weight=weight)
-            decision = model.decide(analysis.final, profiles)
+            # Decide straight from the batch columns (the streaming-search
+            # selection path); identical to model.decide(analysis.final,
+            # profiles) since the columns match the profile fields bitwise.
+            decision = model.decide_from_batch(analysis.final, spaces_by_n[loop_size])
             decisions[(loop_size, float(weight))] = str(decision.label)
 
     return DecisionModelResult(config=cfg, sweep=tuple(sweep), decisions=decisions)

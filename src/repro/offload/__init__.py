@@ -9,8 +9,10 @@ from .execution import (
 )
 from .placement import Placement
 from .space import (
+    MAX_ENUMERABLE_INDEX,
     enumerate_algorithms,
     enumerate_placements,
+    indices_to_matrix,
     iter_placement_batches,
     placement_matrix,
     sample_algorithms,
@@ -24,8 +26,10 @@ __all__ = [
     "enumerate_algorithms",
     "sample_algorithms",
     "placement_matrix",
+    "indices_to_matrix",
     "iter_placement_batches",
     "space_size",
+    "MAX_ENUMERABLE_INDEX",
     "measure_algorithms",
     "profile_algorithms",
     "profiles_from_batch",

@@ -24,9 +24,16 @@ __all__ = [
     "enumerate_algorithms",
     "sample_algorithms",
     "placement_matrix",
+    "indices_to_matrix",
     "iter_placement_batches",
     "space_size",
+    "MAX_ENUMERABLE_INDEX",
 ]
+
+#: Largest placement index representable by the ``np.int64`` encoding the
+#: matrix enumeration uses.  Spaces may be (astronomically) larger -- only the
+#: *slice actually enumerated* must stay below this bound.
+MAX_ENUMERABLE_INDEX = 2**63 - 1
 
 
 def space_size(n_tasks: int, n_devices: int) -> int:
@@ -56,29 +63,90 @@ def placement_matrix(
         stop = total
     if not 0 <= start <= stop <= total:
         raise ValueError(f"invalid slice [{start}, {stop}) of a space of {total} placements")
-    indices = np.arange(start, stop, dtype=np.int64)
+    if stop > start and stop - 1 > MAX_ENUMERABLE_INDEX:
+        # int64 enumeration would silently wrap (or overflow, depending on the
+        # NumPy version); fail loudly with the usable range instead.
+        raise ValueError(
+            f"slice [{start}, {stop}) of the {n_devices}**{n_tasks} = {total} placement "
+            f"space exceeds the int64 index range: only indices up to "
+            f"{MAX_ENUMERABLE_INDEX} (2**63 - 1) can be enumerated.  Restrict the "
+            f"slice (start/stop), or sample the space instead of enumerating it."
+        )
+    if stop == start:
+        # Empty slices are valid at any offset, even past the int64 range
+        # (iter_placement_batches yields nothing for them).
+        return indices_to_matrix(np.empty(0, dtype=np.int64), n_tasks, n_devices)
+    # Build the index vector as offset + arange(length): `stop` itself may
+    # equal 2**63, which does not fit the C long np.arange(start, stop) expects.
+    indices = np.arange(stop - start, dtype=np.int64) + np.int64(start)
+    return indices_to_matrix(indices, n_tasks, n_devices)
+
+
+def indices_to_matrix(indices: np.ndarray, n_tasks: int, n_devices: int) -> np.ndarray:
+    """Decode placement indices into rows of base-``n_devices`` device digits.
+
+    The inverse of the lexicographic encoding: row ``r`` holds the digits of
+    ``indices[r]``, most significant first, so
+    ``indices_to_matrix(np.arange(m**k), k, m)`` equals the full
+    :func:`placement_matrix`.  Used by the streaming search layer to decode
+    winning placement indices without enumerating anything around them.
+    """
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    indices = np.asarray(indices)
+    if indices.dtype.kind not in "iu" or indices.ndim != 1:
+        raise ValueError("indices must be a 1-D integer array")
+    total = space_size(n_tasks, n_devices)
+    if indices.size and (indices.min() < 0 or int(indices.max()) >= total):
+        raise ValueError(
+            f"placement indices must lie in [0, {total}) for a "
+            f"{n_devices}**{n_tasks} space"
+        )
+    if indices.size and int(indices.max()) > MAX_ENUMERABLE_INDEX:
+        # uint64 inputs above 2**63 - 1 pass the range check in >int64 spaces
+        # but would wrap negative in the int64 cast below -- same failure mode
+        # placement_matrix guards against on the encode path.
+        raise ValueError(
+            f"placement indices above {MAX_ENUMERABLE_INDEX} (2**63 - 1) cannot "
+            f"be decoded: the int64 digit extraction would wrap"
+        )
+    remaining = indices.astype(np.int64, copy=True)
     dtype = np.int8 if n_devices <= 127 else np.intp
-    matrix = np.empty((stop - start, n_tasks), dtype=dtype)
+    matrix = np.empty((indices.size, n_tasks), dtype=dtype)
     for column in range(n_tasks - 1, -1, -1):
-        matrix[:, column] = indices % n_devices
-        indices //= n_devices
+        matrix[:, column] = remaining % n_devices
+        remaining //= n_devices
     return matrix
 
 
 def iter_placement_batches(
-    n_tasks: int, n_devices: int, batch_size: int = 65536
+    n_tasks: int,
+    n_devices: int,
+    batch_size: int = 65536,
+    start: int = 0,
+    stop: int | None = None,
 ) -> Iterator[np.ndarray]:
-    """Stream the full placement space as lexicographic chunks of the matrix.
+    """Stream a placement-space range as lexicographic chunks of the matrix.
 
     Yields matrices of at most ``batch_size`` rows whose vertical
-    concatenation equals ``placement_matrix(n_tasks, n_devices)``; peak memory
-    stays bounded no matter how combinatorially the space explodes.
+    concatenation equals ``placement_matrix(n_tasks, n_devices, start, stop)``;
+    peak memory stays bounded no matter how combinatorially the space
+    explodes.  ``start``/``stop`` default to the whole space and let several
+    workers shard one sweep into disjoint contiguous ranges.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     total = space_size(n_tasks, n_devices)
-    for start in range(0, total, batch_size):
-        yield placement_matrix(n_tasks, n_devices, start, min(start + batch_size, total))
+    if stop is None:
+        stop = total
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"invalid slice [{start}, {stop}) of a space of {total} placements")
+    for chunk_start in range(start, stop, batch_size):
+        yield placement_matrix(
+            n_tasks, n_devices, chunk_start, min(chunk_start + batch_size, stop)
+        )
 
 
 def enumerate_placements(

@@ -1,0 +1,63 @@
+"""Streaming placement-space search & selection (the conclusion's "subset of solutions").
+
+The paper's methodology meets an ``m**k`` wall: the batch engine makes
+*executing* every placement fast, but selecting winners used to require a
+fully materialised ``label -> AlgorithmProfile`` mapping.  This subpackage
+selects directly from :class:`~repro.devices.batch.BatchExecutionResult`
+chunks in bounded memory: top-K under scalar objectives, an incremental
+Pareto frontier, and vectorized feasibility constraints, with optional
+multi-process sharding of the placement range (:func:`search_space`).
+``repro.selection.pareto`` keeps the materialised-profiles facade over the
+same dominance kernel (:func:`pareto_mask`).
+"""
+
+from .constraints import (
+    Constraint,
+    CostBudgetConstraint,
+    DeadlineConstraint,
+    EnergyBudgetConstraint,
+    MaxOffloadedConstraint,
+    feasible_mask,
+)
+from .driver import (
+    FrontierSelection,
+    SearchResult,
+    SpaceSearch,
+    TopSelection,
+    search_space,
+)
+from .frontier import StreamingFrontier
+from .objectives import (
+    DecisionObjective,
+    MetricObjective,
+    Objective,
+    WeightedSumObjective,
+    as_objective,
+    as_objectives,
+)
+from .pareto import dominated_by, pareto_mask
+from .topk import StreamingTopK
+
+__all__ = [
+    "search_space",
+    "SpaceSearch",
+    "SearchResult",
+    "TopSelection",
+    "FrontierSelection",
+    "StreamingTopK",
+    "StreamingFrontier",
+    "pareto_mask",
+    "dominated_by",
+    "Objective",
+    "MetricObjective",
+    "WeightedSumObjective",
+    "DecisionObjective",
+    "as_objective",
+    "as_objectives",
+    "Constraint",
+    "DeadlineConstraint",
+    "EnergyBudgetConstraint",
+    "CostBudgetConstraint",
+    "MaxOffloadedConstraint",
+    "feasible_mask",
+]

@@ -1,0 +1,120 @@
+"""Vectorized feasibility filters applied chunk by chunk during a sweep.
+
+Each constraint turns a :class:`~repro.devices.batch.BatchExecutionResult`
+into a boolean keep-mask (one entry per placement).  Filtering happens *before*
+the streaming selectors see the chunk, so infeasible placements cost one array
+comparison instead of ever entering a frontier or top-K heap.  Like the
+objectives, constraints are lambda-free dataclasses so sharded worker
+processes can unpickle them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..devices.batch import BatchExecutionResult
+
+__all__ = [
+    "Constraint",
+    "DeadlineConstraint",
+    "EnergyBudgetConstraint",
+    "CostBudgetConstraint",
+    "MaxOffloadedConstraint",
+    "feasible_mask",
+]
+
+
+@runtime_checkable
+class Constraint(Protocol):
+    """Anything that maps a batch to a boolean keep-mask."""
+
+    def mask(self, batch: "BatchExecutionResult") -> np.ndarray:  # pragma: no cover
+        ...
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+@dataclass(frozen=True)
+class DeadlineConstraint:
+    """Keep placements whose noise-free execution time meets a deadline."""
+
+    max_time_s: float
+
+    def __post_init__(self) -> None:
+        _require_positive("max_time_s", self.max_time_s)
+
+    def mask(self, batch: "BatchExecutionResult") -> np.ndarray:
+        return batch.total_time_s <= self.max_time_s
+
+
+@dataclass(frozen=True)
+class EnergyBudgetConstraint:
+    """Keep placements whose total energy stays within a budget (J)."""
+
+    max_energy_j: float
+
+    def __post_init__(self) -> None:
+        _require_positive("max_energy_j", self.max_energy_j)
+
+    def mask(self, batch: "BatchExecutionResult") -> np.ndarray:
+        return batch.energy_total_j <= self.max_energy_j
+
+
+@dataclass(frozen=True)
+class CostBudgetConstraint:
+    """Keep placements whose operating cost stays within a budget."""
+
+    max_cost: float
+
+    def __post_init__(self) -> None:
+        if self.max_cost < 0:
+            raise ValueError(f"max_cost must be non-negative, got {self.max_cost!r}")
+
+    def mask(self, batch: "BatchExecutionResult") -> np.ndarray:
+        return batch.operating_cost <= self.max_cost
+
+
+@dataclass(frozen=True)
+class MaxOffloadedConstraint:
+    """Keep placements that offload at most ``max_offloaded`` tasks off the host.
+
+    The streaming counterpart of ``enumerate_algorithms(..., max_offloaded=...)``:
+    the same granularity bound, but evaluated on the integer placement matrix
+    instead of a placement-object predicate.
+    """
+
+    max_offloaded: int
+    #: Host alias; defaults to the platform host of the batch being filtered.
+    host: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_offloaded < 0:
+            raise ValueError("max_offloaded must be non-negative")
+
+    def mask(self, batch: "BatchExecutionResult") -> np.ndarray:
+        return batch.n_offloaded(self.host) <= self.max_offloaded
+
+
+def feasible_mask(
+    batch: "BatchExecutionResult", constraints: Sequence[Constraint]
+) -> np.ndarray:
+    """AND of every constraint mask over one batch (all-True when unconstrained)."""
+    mask = np.ones(len(batch), dtype=bool)
+    for constraint in constraints:
+        keep = np.asarray(constraint.mask(batch), dtype=bool)
+        if keep.shape != mask.shape:
+            raise ValueError(
+                f"constraint {constraint!r} returned a mask of shape {keep.shape} "
+                f"for a batch of {len(batch)} placements"
+            )
+        mask &= keep
+        if not mask.any():
+            break
+    return mask

@@ -1,0 +1,80 @@
+"""Incremental Pareto frontier over chunked multi-criteria values.
+
+The frontier keeps only the currently non-dominated ``(criteria row, placement
+index)`` pairs: each chunk is first thinned against the running frontier with
+one vectorized dominance sweep, and the survivors recompete through
+:func:`~repro.search.pareto.pareto_mask`.  Because dominance only ever
+compares value rows, the final frontier is a pure function of the multiset of
+fed rows -- any chunking, feeding order, or shard-merge tree produces the
+identical frontier (the property the equivalence tests pin down).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pareto import dominated_by, pareto_mask
+
+__all__ = ["StreamingFrontier"]
+
+
+class StreamingFrontier:
+    """Maintain the non-dominated set of a stream of objective-vector rows."""
+
+    def __init__(self, n_criteria: int):
+        if n_criteria <= 0:
+            raise ValueError("at least one criterion is required")
+        self.n_criteria = int(n_criteria)
+        self._values = np.empty((0, self.n_criteria), dtype=float)
+        self._indices = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._indices.size
+
+    @property
+    def values(self) -> np.ndarray:
+        """Criteria rows of the current frontier, ordered by placement index."""
+        order = np.argsort(self._indices, kind="stable")
+        return self._values[order]
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Global placement indices of the current frontier, ascending."""
+        return np.sort(self._indices)
+
+    def update(self, values: np.ndarray, indices: np.ndarray) -> None:
+        """Fold one chunk of (criteria row, global index) pairs into the frontier."""
+        values = np.asarray(values, dtype=float)
+        indices = np.asarray(indices, dtype=np.int64)
+        if values.ndim != 2 or values.shape[1] != self.n_criteria:
+            raise ValueError(
+                f"expected an (n, {self.n_criteria}) criteria matrix, got shape {values.shape}"
+            )
+        if values.shape[0] != indices.shape[0]:
+            raise ValueError(
+                f"got {values.shape[0]} criteria rows for {indices.shape[0]} indices"
+            )
+        if not values.size:
+            return
+        if len(self):
+            # Discard the bulk of the chunk against the running frontier first:
+            # the frontier is usually tiny, so this is a handful of row sweeps
+            # over the chunk instead of a quadratic pass including it.
+            keep = ~dominated_by(self._values, values)
+            values, indices = values[keep], indices[keep]
+            if not values.size:
+                return
+        combined_values = np.concatenate([self._values, values])
+        combined_indices = np.concatenate([self._indices, indices])
+        mask = pareto_mask(combined_values)
+        self._values = combined_values[mask]
+        self._indices = combined_indices[mask]
+
+    def merge(self, other: "StreamingFrontier") -> None:
+        """Fold another frontier (e.g. a shard's) into this one."""
+        if other.n_criteria != self.n_criteria:
+            raise ValueError(
+                f"cannot merge a {other.n_criteria}-criteria frontier "
+                f"into a {self.n_criteria}-criteria one"
+            )
+        self.update(other._values, other._indices)

@@ -1,0 +1,84 @@
+"""Vectorized Pareto-dominance kernel shared by the search and selection layers.
+
+``a`` dominates ``b`` (all objectives minimised) iff ``a <= b`` everywhere and
+``a < b`` somewhere -- exactly the pairwise :func:`repro.selection.pareto.dominates`.
+:func:`pareto_mask` computes the non-dominated subset of an ``(n, c)`` value
+matrix without the O(n**2 * c) Python double loop: it sweeps pivot rows over a
+shrinking survivor set, removing everything each pivot dominates in one array
+comparison.  Exact duplicates of a non-dominated row are all kept (none of
+them dominates the others), matching the label-level facade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pareto_mask", "dominated_by"]
+
+
+def _as_value_matrix(values: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected an (n, c) objective matrix, got shape {matrix.shape}")
+    if matrix.shape[1] == 0:
+        raise ValueError("at least one objective column is required")
+    if matrix.size and np.isnan(matrix).any():
+        # +-inf is totally ordered and compares fine; NaN would make dominance
+        # silently inconsistent, so reject it outright.
+        raise ValueError("objective values must not contain NaN")
+    return matrix
+
+
+def pareto_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of the rows not dominated by any other row (minimisation).
+
+    Rows with identical values are either all on the front or all dominated
+    together, so the masked set is a pure function of the *multiset* of rows --
+    the property the streaming frontier's chunk/shard merging relies on.
+    """
+    matrix = _as_value_matrix(values)
+    n = matrix.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    # Visit rows in lexicographic value order: early pivots tend to dominate
+    # large swaths of the survivor set, so it collapses quickly.  The result
+    # is order-independent; only the pruning speed depends on it.
+    order = np.lexsort(matrix.T[::-1])
+    survivors = order
+    ranked = matrix[order]
+    pivot = 0
+    while pivot < ranked.shape[0]:
+        row = ranked[pivot]
+        # Keep rows that beat the pivot somewhere (they are not dominated by
+        # it) and rows equal to it everywhere (mutual non-domination).
+        keep = np.any(ranked < row, axis=1)
+        keep |= np.all(ranked == row, axis=1)
+        survivors = survivors[keep]
+        ranked = ranked[keep]
+        pivot = int(np.count_nonzero(keep[:pivot])) + 1
+    mask = np.zeros(n, dtype=bool)
+    mask[survivors] = True
+    return mask
+
+
+def dominated_by(frontier: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Mask of ``values`` rows dominated by at least one ``frontier`` row.
+
+    Used to discard the bulk of a chunk against the running frontier before
+    the (quadratic-ish) :func:`pareto_mask` pass over the remainder.
+    """
+    front = _as_value_matrix(frontier)
+    matrix = _as_value_matrix(values)
+    if front.shape[1] != matrix.shape[1]:
+        raise ValueError(
+            f"frontier has {front.shape[1]} objectives but values have {matrix.shape[1]}"
+        )
+    dominated = np.zeros(matrix.shape[0], dtype=bool)
+    for row in front:
+        candidate = ~dominated
+        if not candidate.any():
+            break
+        sub = matrix[candidate]
+        hit = np.all(row <= sub, axis=1) & np.any(row < sub, axis=1)
+        dominated[candidate] |= hit
+    return dominated

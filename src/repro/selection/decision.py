@@ -12,11 +12,17 @@ its cluster assignment, and picks the best one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
 
 from ..core.scores import FinalClustering
 from ..core.types import Label
 from ..offload.execution import AlgorithmProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..devices.batch import BatchExecutionResult
 
 __all__ = ["DecisionModel", "Decision"]
 
@@ -32,7 +38,28 @@ class Decision:
     cluster: int
     relative_score: float
     #: Objective values of every candidate, for inspection / reporting.
+    #: Exposed as a read-only snapshot: a frozen Decision must not be
+    #: corruptible through a mutable attribute after the fact.
     objectives: Mapping[Label, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objectives", MappingProxyType(dict(self.objectives)))
+
+    def __reduce__(self):
+        # MappingProxyType cannot be pickled/deepcopied; reconstruct through
+        # __init__ from a plain dict (re-wrapped by __post_init__).
+        return (
+            self.__class__,
+            (
+                self.label,
+                self.objective,
+                self.time_s,
+                self.operating_cost,
+                self.cluster,
+                self.relative_score,
+                dict(self.objectives),
+            ),
+        )
 
     def summary(self) -> str:
         return (
@@ -82,12 +109,35 @@ class DecisionModel:
             + self.score_penalty * (1.0 - relative_score)
         )
 
-    def decide(
+    def batch_objective(
         self,
-        clustering: FinalClustering,
-        profiles: Mapping[Label, AlgorithmProfile],
-    ) -> Decision:
-        """Pick the algorithm minimising the objective among the admissible candidates."""
+        batch: "BatchExecutionResult",
+        relative_scores: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized objective over every placement of a batch (lower is better).
+
+        The array form of :meth:`objective`, computed straight from the batch
+        columns -- the hook the streaming search layer
+        (:class:`repro.search.DecisionObjective`) ranks huge spaces with.
+        ``relative_scores`` (one score per placement, in ``[0, 1]``) activates
+        the cluster-confidence penalty; without it the penalty term is zero,
+        as unclustered placements carry no confidence information.
+        """
+        values = batch.total_time_s + self.cost_weight * batch.operating_cost
+        if relative_scores is not None:
+            scores = np.asarray(relative_scores, dtype=float)
+            if scores.shape != values.shape:
+                raise ValueError(
+                    f"expected {values.shape[0]} relative scores, got shape {scores.shape}"
+                )
+            if not np.all((scores >= 0.0) & (scores <= 1.0)):
+                # NaN fails both comparisons, so it is rejected here exactly
+                # like the scalar objective() rejects it.
+                raise ValueError("relative scores must lie in [0, 1]")
+            values = values + self.score_penalty * (1.0 - scores)
+        return values
+
+    def _candidates(self, clustering: FinalClustering) -> list[Label]:
         candidates: list[Label] = []
         for cluster, entries in clustering:
             if self.restrict_to_clusters is not None and cluster not in self.restrict_to_clusters:
@@ -95,22 +145,77 @@ class DecisionModel:
             candidates.extend(entry.label for entry in entries)
         if not candidates:
             raise ValueError("no candidate algorithms after cluster restriction")
-        missing = [label for label in candidates if label not in profiles]
-        if missing:
-            raise KeyError(f"missing profiles for algorithms {missing!r}")
+        return candidates
 
-        objectives = {
-            label: self.objective(profiles[label], clustering.score_of(label))
-            for label in candidates
-        }
+    def _decision(
+        self,
+        clustering: FinalClustering,
+        objectives: dict[Label, float],
+        time_and_cost: "Callable[[Label], tuple[float, float]]",
+    ) -> Decision:
         best = min(objectives, key=lambda label: (objectives[label], str(label)))
-        profile = profiles[best]
+        time_s, operating_cost = time_and_cost(best)
         return Decision(
             label=best,
             objective=objectives[best],
-            time_s=profile.time_s,
-            operating_cost=profile.operating_cost,
+            time_s=time_s,
+            operating_cost=operating_cost,
             cluster=clustering.cluster_of(best),
             relative_score=clustering.score_of(best),
             objectives=objectives,
         )
+
+    def decide(
+        self,
+        clustering: FinalClustering,
+        profiles: Mapping[Label, AlgorithmProfile],
+    ) -> Decision:
+        """Pick the algorithm minimising the objective among the admissible candidates."""
+        candidates = self._candidates(clustering)
+        missing = [label for label in candidates if label not in profiles]
+        if missing:
+            raise KeyError(f"missing profiles for algorithms {missing!r}")
+        objectives = {
+            label: self.objective(profiles[label], clustering.score_of(label))
+            for label in candidates
+        }
+        return self._decision(
+            clustering,
+            objectives,
+            lambda label: (profiles[label].time_s, profiles[label].operating_cost),
+        )
+
+    def decide_from_batch(
+        self,
+        clustering: FinalClustering,
+        batch: "BatchExecutionResult",
+    ) -> Decision:
+        """:meth:`decide` straight from a batch execution -- no profile objects.
+
+        ``batch`` must contain every clustered candidate (extra placements are
+        ignored).  The batch columns are bitwise identical to the sequential
+        profile fields and the objective uses the same arithmetic, so the
+        returned Decision is identical to :meth:`decide` over materialised
+        profiles of the same space.
+        """
+        candidates = self._candidates(clustering)
+        row_of: dict[str, int] = {}
+        for index, label in enumerate(batch.labels()):
+            row_of.setdefault(label, index)
+        missing = [label for label in candidates if str(label) not in row_of]
+        if missing:
+            raise KeyError(f"missing batch placements for algorithms {missing!r}")
+        rows = np.array([row_of[str(label)] for label in candidates], dtype=np.intp)
+        scores = np.array([clustering.score_of(label) for label in candidates], dtype=float)
+        if not np.all((scores >= 0.0) & (scores <= 1.0)):
+            raise ValueError("relative_score must lie in [0, 1]")
+        values = self.batch_objective(batch, relative_scores=None)[rows]
+        if self.score_penalty:
+            values = values + self.score_penalty * (1.0 - scores)
+        objectives = {label: float(value) for label, value in zip(candidates, values)}
+
+        def time_and_cost(label: Label) -> tuple[float, float]:
+            row = row_of[str(label)]
+            return float(batch.total_time_s[row]), float(batch.operating_cost[row])
+
+        return self._decision(clustering, objectives, time_and_cost)

@@ -5,6 +5,15 @@ energy on the constrained device, data moved over the network and operating
 cost all matter.  :func:`pareto_front` extracts the non-dominated algorithms
 with respect to an arbitrary set of (minimised) criteria, which complements
 the cluster-based selection of the paper.
+
+This module is the thin *materialised-profiles facade* over the vectorized
+dominance kernel in :mod:`repro.search.pareto`: criterion values are stacked
+into one ``(p, c)`` matrix and the non-dominated mask is computed by
+:func:`~repro.search.pareto.pareto_mask` (the previous implementation called
+:func:`dominates` for every ordered pair -- O(p**2 * c) in pure Python).  For
+spaces too large to materialise profiles at all, stream chunks through
+:class:`repro.search.SpaceSearch` instead; both paths share the same kernel
+and return element-for-element identical frontiers.
 """
 
 from __future__ import annotations
@@ -12,8 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..core.types import Label
 from ..offload.execution import AlgorithmProfile
+from ..search.pareto import pareto_mask
 
 __all__ = ["Criterion", "pareto_front", "dominates", "DEFAULT_CRITERIA"]
 
@@ -57,11 +69,14 @@ def pareto_front(
         raise ValueError("at least one profile is required")
     if not criteria:
         raise ValueError("at least one criterion is required")
-    vectors = {
-        label: [criterion(profile) for criterion in criteria] for label, profile in profiles.items()
+    labels = list(profiles)
+    values = np.array(
+        [[criterion(profiles[label]) for criterion in criteria] for label in labels],
+        dtype=float,
+    )
+    mask = pareto_mask(values)
+    return {
+        label: {criterion.name: float(value) for criterion, value in zip(criteria, row)}
+        for label, row, keep in zip(labels, values, mask)
+        if keep
     }
-    front: dict[Label, dict[str, float]] = {}
-    for label, vector in vectors.items():
-        if not any(dominates(other, vector) for other_label, other in vectors.items() if other_label != label):
-            front[label] = {criterion.name: value for criterion, value in zip(criteria, vector)}
-    return front

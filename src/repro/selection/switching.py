@@ -13,10 +13,18 @@ simulation over successive invocations of the scientific code: the edge device
 accumulates an energy (thermal) budget while the preferred algorithm runs;
 when the accumulated energy crosses the threshold, the policy switches to the
 cool-down algorithm until the budget has drained.
+
+Draining only happens when ``dissipation_j_per_invocation`` exceeds the
+cool-down algorithm's own draw on the constrained device (the accumulator
+moves by ``cooldown_draw - dissipation`` per cooling invocation).  A
+configuration whose cool-down phase cannot drain would silently run the
+cool-down algorithm forever, so :class:`EnergyAwareSwitcher` rejects it at
+construction.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -98,7 +106,16 @@ class SwitchingPolicy:
 
 @dataclass
 class EnergyAwareSwitcher:
-    """Simulate the duty-cycle switching policy over repeated code invocations."""
+    """Simulate the duty-cycle switching policy over repeated code invocations.
+
+    Requires a *net drain* while cooling: ``policy.dissipation_j_per_invocation``
+    must be strictly greater than the cool-down algorithm's energy draw on the
+    constrained device whenever the preferred algorithm can ever trigger the
+    threshold.  Otherwise the accumulator is monotonically non-decreasing
+    during cool-down and the trace would silently run the cool-down algorithm
+    forever -- contradicting the paper's "switch back when the device cools
+    down" scenario -- so such configurations raise ``ValueError`` here instead.
+    """
 
     policy: SwitchingPolicy
     profiles: Mapping[Label, AlgorithmProfile] = field(default_factory=dict)
@@ -107,6 +124,26 @@ class EnergyAwareSwitcher:
         for label in (self.policy.preferred, self.policy.cooldown):
             if label not in self.profiles:
                 raise KeyError(f"no profile provided for algorithm {label!r}")
+        self._validate_drain()
+
+    def _validate_drain(self) -> None:
+        """Reject policies whose cool-down phase can start but never drain."""
+        preferred_draw = self._device_energy(self.policy.preferred)
+        if preferred_draw <= 0.0 or math.isinf(self.policy.threshold_j):
+            return  # the threshold is never reached; cool-down never starts
+        cooldown_draw = self._device_energy(self.policy.cooldown)
+        net_drain = self.policy.dissipation_j_per_invocation - cooldown_draw
+        if net_drain <= 0.0:
+            raise ValueError(
+                f"cool-down phase can never drain: algorithm "
+                f"{self.policy.cooldown!r} draws {cooldown_draw:.6g} J per invocation "
+                f"on device {self.policy.device!r} but dissipation_j_per_invocation "
+                f"is {self.policy.dissipation_j_per_invocation:.6g} J; the accumulated "
+                f"energy would never fall back to zero and the policy would run the "
+                f"cool-down algorithm forever.  Increase dissipation_j_per_invocation "
+                f"above {cooldown_draw:.6g} J or pick a cool-down algorithm that "
+                f"draws less on {self.policy.device!r}."
+            )
 
     def _device_energy(self, label: Label) -> float:
         return self.profiles[label].device_energy(self.policy.device)

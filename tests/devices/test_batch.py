@@ -26,10 +26,12 @@ from repro.devices import (
 from repro.devices.batch import ChainCostTables, as_placement_matrix, placement_labels
 from repro.measurement.noise import NoNoise
 from repro.offload import (
+    MAX_ENUMERABLE_INDEX,
     OffloadedAlgorithm,
     Placement,
     enumerate_algorithms,
     enumerate_placements,
+    indices_to_matrix,
     iter_placement_batches,
     measure_algorithms,
     placement_matrix,
@@ -131,6 +133,57 @@ class TestPlacementMatrix:
         assert np.array_equal(np.concatenate(chunks), placement_matrix(6, 3))
         with pytest.raises(ValueError):
             next(iter_placement_batches(3, 2, batch_size=0))
+
+    def test_chunked_range_slicing(self):
+        full = placement_matrix(6, 3)
+        chunks = list(iter_placement_batches(6, 3, batch_size=37, start=100, stop=500))
+        assert np.array_equal(np.concatenate(chunks), full[100:500])
+        with pytest.raises(ValueError):
+            next(iter_placement_batches(6, 3, batch_size=10, start=500, stop=100))
+
+    def test_indices_to_matrix_decodes_the_encoding(self):
+        full = placement_matrix(5, 3)
+        rng = np.random.default_rng(0)
+        picks = rng.integers(0, 3**5, size=40)
+        assert np.array_equal(indices_to_matrix(picks, 5, 3), full[picks])
+        with pytest.raises(ValueError):
+            indices_to_matrix(np.array([3**5]), 5, 3)  # out of range
+        with pytest.raises(ValueError):
+            indices_to_matrix(np.array([-1]), 5, 3)
+        with pytest.raises(ValueError):
+            indices_to_matrix(np.array([[0, 1]]), 5, 3)  # not 1-D
+        with pytest.raises(ValueError):
+            indices_to_matrix(np.array([0.5]), 5, 3)  # not integer
+        # uint64 indices past int64 in a >int64 space must not wrap negative.
+        with pytest.raises(ValueError, match="int64"):
+            indices_to_matrix(np.array([2**63 + 5], dtype=np.uint64), 64, 2)
+        top = indices_to_matrix(np.array([MAX_ENUMERABLE_INDEX], dtype=np.uint64), 64, 2)
+        assert top[0].tolist() == [int(b) for b in np.binary_repr(MAX_ENUMERABLE_INDEX, width=64)]
+
+    def test_space_size_is_exact_beyond_int64(self):
+        # Python ints never overflow; 2**64 must come out exact.
+        assert space_size(64, 2) == 2**64
+        assert space_size(40, 3) == 3**40
+
+    def test_int64_overflow_slice_raises_actionable_error(self):
+        """Regression: slices past int64 used to wrap/overflow inside np.arange."""
+        # Slices within the representable range of a >int64 space still work...
+        low = placement_matrix(64, 2, start=0, stop=4)
+        assert np.array_equal(low[:, -2:], [[0, 0], [0, 1], [1, 0], [1, 1]])
+        # ... including the very last representable indices (2**63 - 2, 2**63 - 1):
+        boundary = placement_matrix(64, 2, start=MAX_ENUMERABLE_INDEX - 1, stop=MAX_ENUMERABLE_INDEX + 1)
+        digits = [int(b) for b in np.binary_repr(MAX_ENUMERABLE_INDEX, width=64)]
+        assert boundary[1].tolist() == digits
+        # ... an empty slice is valid at any offset (the streaming iterator
+        # yields nothing for it, so the two paths agree):
+        assert placement_matrix(64, 2, start=2**63 + 5, stop=2**63 + 5).shape == (0, 64)
+        # ... but anything non-empty beyond must fail loudly, not wrap:
+        with pytest.raises(ValueError, match="int64"):
+            placement_matrix(64, 2, start=2**63, stop=2**63 + 2)
+        with pytest.raises(ValueError, match="int64"):
+            placement_matrix(64, 2)  # the full space cannot be enumerated
+        with pytest.raises(ValueError, match="int64"):
+            next(iter_placement_batches(64, 2, batch_size=4, start=2**63, stop=2**63 + 8))
 
     def test_compact_dtype(self):
         assert placement_matrix(4, 3).dtype == np.int8

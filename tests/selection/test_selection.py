@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core import ClusterEntry, make_final_clustering
@@ -69,6 +70,88 @@ class TestDecisionModel:
         # With a huge penalty on low confidence, DAA (score 0.9) is never chosen over DDD.
         model = DecisionModel(score_penalty=10.0, restrict_to_clusters=(2,))
         assert model.decide(clustering, profiles).label == "DDD"
+
+    def test_objectives_mapping_is_read_only(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        decision = DecisionModel().decide(clustering, profiles)
+        with pytest.raises(TypeError):
+            decision.objectives["DDA"] = -1.0  # type: ignore[index]
+        with pytest.raises((TypeError, AttributeError)):
+            decision.objectives.clear()  # type: ignore[attr-defined]
+
+    def test_objectives_snapshot_detached_from_source_dict(self, table1_setup):
+        _, _, profiles, clustering = table1_setup
+        source = {"DDA": 1.0, "DDD": 2.0}
+        from repro.selection import Decision
+
+        decision = Decision(
+            label="DDA",
+            objective=1.0,
+            time_s=1.0,
+            operating_cost=0.0,
+            cluster=1,
+            relative_score=1.0,
+            objectives=source,
+        )
+        source["DDA"] = -5.0
+        assert decision.objectives["DDA"] == 1.0
+
+    def test_decision_survives_pickle_and_deepcopy(self, table1_setup):
+        import copy
+        import pickle
+
+        _, _, profiles, clustering = table1_setup
+        decision = DecisionModel(cost_weight=100.0).decide(clustering, profiles)
+        for clone in (pickle.loads(pickle.dumps(decision)), copy.deepcopy(decision)):
+            assert clone.label == decision.label
+            assert dict(clone.objectives) == dict(decision.objectives)
+            with pytest.raises(TypeError):
+                clone.objectives["DDA"] = -1.0  # still read-only after the round-trip
+
+    def test_decide_from_batch_identical_to_decide(self, table1_setup):
+        platform, algorithms, profiles, clustering = table1_setup
+        executor = SimulatedExecutor(platform, noise=NoNoise(), seed=0)
+        chain = table1_chain(loop_size=5)
+        batch = executor.execute_batch(
+            chain, [a.placement.devices for a in algorithms.values()]
+        )
+        for model in (
+            DecisionModel(),
+            DecisionModel(cost_weight=1e6),
+            DecisionModel(cost_weight=250.0, score_penalty=10.0),
+            DecisionModel(cost_weight=1e6, restrict_to_clusters=(1,)),
+        ):
+            expected = model.decide(clustering, profiles)
+            actual = model.decide_from_batch(clustering, batch)
+            assert actual.label == expected.label
+            assert actual.objective == expected.objective
+            assert actual.time_s == expected.time_s
+            assert actual.operating_cost == expected.operating_cost
+            assert actual.cluster == expected.cluster
+            assert actual.relative_score == expected.relative_score
+            assert dict(actual.objectives) == dict(expected.objectives)
+
+    def test_decide_from_batch_missing_candidates(self, table1_setup):
+        platform, algorithms, _, clustering = table1_setup
+        executor = SimulatedExecutor(platform, noise=NoNoise(), seed=0)
+        chain = table1_chain(loop_size=5)
+        batch = executor.execute_batch(chain, [algorithms["DDA"].placement.devices])
+        with pytest.raises(KeyError):
+            DecisionModel().decide_from_batch(clustering, batch)
+
+    def test_batch_objective_validation(self, table1_setup):
+        platform, algorithms, _, _ = table1_setup
+        executor = SimulatedExecutor(platform, noise=NoNoise(), seed=0)
+        chain = table1_chain(loop_size=5)
+        batch = executor.execute_batch(chain)
+        model = DecisionModel(score_penalty=1.0)
+        with pytest.raises(ValueError):
+            model.batch_objective(batch, relative_scores=np.ones(3))  # wrong length
+        with pytest.raises(ValueError):
+            model.batch_objective(batch, relative_scores=np.full(len(batch), 1.5))
+        scored = model.batch_objective(batch, relative_scores=np.full(len(batch), 0.5))
+        plain = model.batch_objective(batch)
+        assert np.allclose(scored - plain, 0.5)
 
     def test_validation(self, table1_setup):
         _, _, profiles, clustering = table1_setup
@@ -188,6 +271,45 @@ class TestEnergyAwareSwitcher:
         trace = self._switcher(profiles, threshold=5 * ddd_energy, dissipation=2 * ddd_energy).simulate(300)
         # The accumulator stays bounded by threshold + one invocation worth of energy.
         assert trace.peak_accumulated_j <= 5 * ddd_energy + ddd_energy + 1e-9
+
+    def test_non_draining_cooldown_rejected(self, table1_setup):
+        """Regression: dissipation <= cooldown draw would cool down forever."""
+        _, _, profiles, _ = table1_setup
+        daa_energy = profiles["DAA"].device_energy("D")
+        assert daa_energy > 0  # the cooldown algorithm does draw device energy
+        # The default dissipation (0.0) can never drain the accumulator.
+        with pytest.raises(ValueError, match="never drain"):
+            self._switcher(profiles, dissipation=0.0)
+        # Exactly offsetting the cooldown draw is still a zero net drain.
+        with pytest.raises(ValueError, match="never drain"):
+            self._switcher(profiles, dissipation=daa_energy)
+        # Any strictly positive net drain terminates the cool-down phase.
+        trace = self._switcher(
+            profiles, threshold=10.0, dissipation=daa_energy + 1.0
+        ).simulate(200)
+        assert trace.n_switches >= 2  # entered *and left* cool-down
+        assert trace.usage_fraction("DDD") > 0.0
+        assert trace.usage_fraction("DAA") > 0.0
+
+    def test_unreachable_infinite_threshold_needs_no_drain(self, table1_setup):
+        """threshold_j=inf never triggers cool-down, so no drain is required."""
+        _, _, profiles, _ = table1_setup
+        trace = self._switcher(profiles, threshold=float("inf"), dissipation=0.0).simulate(30)
+        assert trace.n_switches == 0
+        assert trace.usage_fraction("DDD") == 1.0
+
+    def test_zero_draw_preferred_never_triggers_cooldown(self, table1_setup):
+        """A policy whose threshold is unreachable needs no drain validation."""
+        _, _, profiles, _ = table1_setup
+        # Device alias "Z" draws nothing in any profile, so the accumulator
+        # never moves and the cool-down phase never starts.
+        policy = SwitchingPolicy(
+            preferred="DDD", cooldown="DAA", device="Z", threshold_j=1.0,
+            dissipation_j_per_invocation=0.0,
+        )
+        trace = EnergyAwareSwitcher(policy=policy, profiles=profiles).simulate(20)
+        assert trace.n_switches == 0
+        assert trace.usage_fraction("DDD") == 1.0
 
 
 class TestPareto:
