@@ -1,0 +1,152 @@
+"""Benchmark the condition-stacked grid engine vs. a per-scenario Python loop.
+
+The robustness workload evaluates one placement set under a dense grid of
+environment conditions (the cartesian product of link congestion, latency
+inflation, host load and accelerator DVFS easily reaches hundreds of
+scenarios).  The baseline is the obvious implementation this repo supported
+before the scenario subsystem: derive each scenario's platform, rebuild
+``ChainCostTables`` and call ``execute_placements`` per scenario.  The grid
+path (``ChainCostTables.build_grid`` + ``execute_placements_grid``) stacks the
+tables along a condition axis and evaluates all (scenario, placement) pairs in
+one vectorized pass.
+
+The two paths must agree **bitwise** on every metric (asserted untimed), and
+the grid path must beat the loop by the speedup floor.
+
+Set ``BENCH_SCENARIOS_SMALL=1`` (the CI smoke job does) for a reduced
+workload with a relaxed floor.  Results land in ``BENCH_scenarios.json`` /
+``BENCH_scenarios_small.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.devices import ChainCostTables, edge_cluster_platform, execute_placements
+from repro.devices.grid import execute_placements_grid
+from repro.offload import placement_matrix
+from repro.scenarios import (
+    DeviceLoadFactor,
+    DvfsFrequencyScale,
+    LinkBandwidthScale,
+    LinkLatencyScale,
+    ScenarioGrid,
+)
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+SMALL = os.environ.get("BENCH_SCENARIOS_SMALL", "") not in ("", "0")
+
+if SMALL:
+    N_TASKS = 4  # 4**4 = 256 placements
+    DVFS_VALUES = [1.0]  # 4 x 4 x 3 = 48 scenarios
+    SPEEDUP_FLOOR = 2.0
+else:
+    N_TASKS = 4  # 4**4 = 256 placements
+    DVFS_VALUES = [1.0, 0.7, 0.5]  # 4 x 4 x 3 x 3 = 144 scenarios
+    SPEEDUP_FLOOR = 4.0
+
+SEED = 0
+
+
+def build_chain(n_tasks: int) -> TaskChain:
+    tasks = [
+        RegularizedLeastSquaresTask(
+            size=60 + 40 * i, iterations=8, name=f"L{i + 1}", generate_on_host=False
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"bench-scenarios-{n_tasks}")
+
+
+def build_scenarios() -> ScenarioGrid:
+    """Congestion x latency x host load (x DVFS): a dense condition grid."""
+    axes = [
+        (LinkBandwidthScale(), [1.0, 0.5, 0.25, 0.125]),
+        (LinkLatencyScale(), [1.0, 3.0, 10.0, 30.0]),
+        (DeviceLoadFactor(devices=("D",)), [1.0, 1.5, 2.0]),
+    ]
+    if len(DVFS_VALUES) > 1:
+        axes.append((DvfsFrequencyScale(devices=("E", "A")), DVFS_VALUES))
+    return ScenarioGrid.cartesian(axes)
+
+
+def _loop_path(chain, platforms, matrix):
+    """The pre-scenario-subsystem implementation: one scalar build + execute per platform."""
+    return [
+        execute_placements(ChainCostTables.build(chain, platform), matrix)
+        for platform in platforms
+    ]
+
+
+def _grid_path(chain, platforms, matrix):
+    return execute_placements_grid(ChainCostTables.build_grid(chain, platforms), matrix)
+
+
+def test_grid_path_matches_and_beats_scenario_loop(benchmark, bench_once, bench_json):
+    """Bitwise identical (scenario, placement) metrics, at a fraction of the loop's cost."""
+    platform = edge_cluster_platform()
+    chain = build_chain(N_TASKS)
+    scenarios = build_scenarios()
+    platforms = scenarios.platforms(platform)
+    matrix = placement_matrix(len(chain), len(platform.aliases))
+    n_scenarios, n_placements = len(platforms), matrix.shape[0]
+
+    # Warm both paths on a tiny workload (lazy imports, allocator warm-up).
+    _loop_path(build_chain(2), platforms[:2], placement_matrix(2, 4))
+    _grid_path(build_chain(2), platforms[:2], placement_matrix(2, 4))
+
+    gc.collect()
+    start = time.perf_counter()
+    grid = _grid_path(chain, platforms, matrix)
+    grid_s = time.perf_counter() - start
+
+    gc.collect()
+    start = time.perf_counter()
+    loop = _loop_path(chain, platforms, matrix)
+    loop_s = time.perf_counter() - start
+
+    # -- equivalence (untimed): bitwise, every scenario, every metric --------
+    for index, batch in enumerate(loop):
+        assert np.array_equal(grid.total_time_s[index], batch.total_time_s)
+        assert np.array_equal(grid.energy_total_j[index], batch.energy_total_j)
+        assert np.array_equal(grid.operating_cost[index], batch.operating_cost)
+        assert np.array_equal(grid.transfer_energy_j[index], batch.transfer_energy_j)
+        assert np.array_equal(grid.busy_by_device[index], batch.busy_by_device)
+    assert np.array_equal(grid.flops_by_device, loop[0].flops_by_device)
+    assert np.array_equal(grid.transferred_bytes, loop[0].transferred_bytes)
+
+    speedup = loop_s / grid_s
+    print(
+        f"\n{platform.name}: {n_scenarios} scenarios x {n_placements} placements "
+        f"({n_scenarios * n_placements} pairs)"
+        f"\n  per-scenario loop:  {loop_s * 1e3:8.1f} ms"
+        f"\n  grid engine:        {grid_s * 1e3:8.1f} ms  "
+        f"({speedup:5.1f}x, floor {SPEEDUP_FLOOR}x)"
+    )
+
+    bench_json(
+        "scenarios_small" if SMALL else "scenarios",
+        {
+            "workload": {
+                "platform": platform.name,
+                "n_devices": len(platform.aliases),
+                "n_tasks": N_TASKS,
+                "n_placements": n_placements,
+                "n_scenarios": n_scenarios,
+                "pairs": n_scenarios * n_placements,
+                "small": SMALL,
+            },
+            "seconds": {"scenario_loop": loop_s, "grid_engine": grid_s},
+            "speedups": {"grid_engine": speedup},
+            "floors": {"grid_engine": SPEEDUP_FLOOR},
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"grid engine regressed: {speedup:.1f}x < {SPEEDUP_FLOOR}x vs the per-scenario loop"
+    )
+
+    bench_once(benchmark, _grid_path, chain, platforms, matrix)

@@ -14,10 +14,13 @@ The package is organised as:
   Squares loops), FLOP accounting, scientific-code task chains.
 * :mod:`repro.offload` -- the algorithm space induced by splitting a task
   chain between devices.
+* :mod:`repro.scenarios` -- condition-parameterized platforms: environment
+  drift (link degradation, load, DVFS, prices) as scenario grids.
 * :mod:`repro.selection` -- decision models for algorithm selection (cost /
-  FLOPs / energy-aware switching).
+  FLOPs / energy-aware switching / robust-across-drift).
 * :mod:`repro.search` -- streaming search & selection over huge placement
-  spaces (top-K, incremental Pareto frontier, constraints, sharded sweeps).
+  spaces (top-K, incremental Pareto frontier, constraints, sharded sweeps,
+  robust grid search).
 * :mod:`repro.experiments` -- one runner per paper table/figure.
 * :mod:`repro.reporting` -- text tables, ASCII histograms, CSV export.
 

@@ -3,6 +3,7 @@
 from .catalog import (
     PLATFORMS,
     cpu_gpu_platform,
+    register_platform,
     edge_cluster_platform,
     edge_tpu_like,
     get_platform,
@@ -22,6 +23,7 @@ from .catalog import (
 from .batch import BatchExecutionResult, ChainCostTables, execute_placements
 from .device import DeviceSpec
 from .energy import EnergyBreakdown
+from .grid import GridCostTables, GridExecutionResult, execute_placements_grid
 from .host import HostExecutor
 from .link import LinkSpec
 from .platform import Platform
@@ -39,6 +41,9 @@ __all__ = [
     "BatchExecutionResult",
     "ChainCostTables",
     "execute_placements",
+    "GridCostTables",
+    "GridExecutionResult",
+    "execute_placements_grid",
     # catalog
     "xeon_8160_core",
     "nvidia_p100",
@@ -56,4 +61,5 @@ __all__ = [
     "edge_cluster_platform",
     "PLATFORMS",
     "get_platform",
+    "register_platform",
 ]

@@ -22,18 +22,25 @@ drift in the last ulp for long chains).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..tasks.chain import TaskChain
-from .energy import EnergyBreakdown
+from .costmodel import (
+    PENALTY_MESSAGE_BYTES,
+    finalize_execution,
+    penalty_cost,
+    task_device_cost,
+)
 from .platform import Platform
 from .simulator import (
-    PENALTY_MESSAGE_BYTES,
     ExecutionRecord,
     TaskExecutionRecord,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports us)
+    from .grid import GridCostTables
 
 __all__ = [
     "ChainCostTables",
@@ -116,62 +123,37 @@ class ChainCostTables:
         task_flops = np.array([cost.flops for cost in costs], dtype=float)
         for t, cost in enumerate(costs):
             for d, alias in enumerate(aliases):
-                device = platform.device(alias)
-                busy_time = device.compute_time(cost)
-                if alias != host:
-                    try:
-                        # Same scalar expressions (and the same single additions)
-                        # as the sequential executor, so the tables are bitwise
-                        # exact.
-                        hostio_time[t, d] = platform.transfer_time(
-                            host, alias, cost.input_bytes
-                        ) + platform.transfer_time(alias, host, cost.output_bytes)
-                        energy_in[t, d] = platform.transfer_energy(host, alias, cost.input_bytes)
-                        energy_out[t, d] = platform.transfer_energy(alias, host, cost.output_bytes)
-                    except KeyError:
-                        missing.add((host, alias))
-                        hostio_time[t, d] = np.nan
-                        energy_in[t, d] = np.nan
-                        energy_out[t, d] = np.nan
-                    hostio_bytes[t, d] = cost.transferred_bytes
-                    busy_time += device.task_startup_overhead_s
-                busy[t, d] = busy_time
+                # The shared cost model performs the exact scalar expressions
+                # (and the same single additions) as the sequential executor,
+                # so the tables are bitwise exact.
+                entry = task_device_cost(platform, cost, alias, on_missing_link="nan")
+                if np.isnan(entry.hostio_time_s):
+                    missing.add((host, alias))
+                busy[t, d] = entry.busy_s
+                hostio_time[t, d] = entry.hostio_time_s
+                hostio_bytes[t, d] = entry.hostio_bytes
+                energy_in[t, d] = entry.energy_in_j
+                energy_out[t, d] = entry.energy_out_j
 
         penalty_time = np.zeros((m, m))
         penalty_energy = np.zeros((m, m))
         penalty_bytes = np.zeros((m, m))
         for i, a in enumerate(aliases):
             for j, b in enumerate(aliases):
-                if a != b:
-                    try:
-                        penalty_time[i, j] = platform.transfer_time(a, b, PENALTY_MESSAGE_BYTES)
-                        penalty_energy[i, j] = platform.transfer_energy(
-                            a, b, PENALTY_MESSAGE_BYTES
-                        )
-                    except KeyError:
-                        missing.add((a, b))
-                        penalty_time[i, j] = np.nan
-                        penalty_energy[i, j] = np.nan
-                    penalty_bytes[i, j] = PENALTY_MESSAGE_BYTES
+                hop = penalty_cost(platform, a, b, on_missing_link="nan")
+                if np.isnan(hop.time_s):
+                    missing.add((a, b))
+                penalty_time[i, j] = hop.time_s
+                penalty_energy[i, j] = hop.energy_j
+                penalty_bytes[i, j] = hop.n_bytes
 
-        def _host_penalty(fn, alias):
-            if alias == host:
-                return 0.0
-            try:
-                return fn(host, alias, PENALTY_MESSAGE_BYTES)
-            except KeyError:
+        first_hops = [penalty_cost(platform, host, alias, on_missing_link="nan") for alias in aliases]
+        for alias, hop in zip(aliases, first_hops):
+            if np.isnan(hop.time_s):
                 missing.add((host, alias))
-                return np.nan
-
-        first_penalty_time = np.array(
-            [_host_penalty(platform.transfer_time, alias) for alias in aliases]
-        )
-        first_penalty_energy = np.array(
-            [_host_penalty(platform.transfer_energy, alias) for alias in aliases]
-        )
-        first_penalty_bytes = np.array(
-            [0.0 if alias == host else PENALTY_MESSAGE_BYTES for alias in aliases]
-        )
+        first_penalty_time = np.array([hop.time_s for hop in first_hops])
+        first_penalty_energy = np.array([hop.energy_j for hop in first_hops])
+        first_penalty_bytes = np.array([hop.n_bytes for hop in first_hops])
         return cls(
             task_names=tuple(chain.task_names),
             platform=platform,
@@ -190,6 +172,26 @@ class ChainCostTables:
             first_penalty_bytes=first_penalty_bytes,
             missing_links=frozenset(missing),
         )
+
+    @classmethod
+    def build_grid(
+        cls,
+        chain: TaskChain,
+        platforms: "Sequence[Platform]",
+        devices: Sequence[str] | None = None,
+    ) -> "GridCostTables":
+        """Condition-stacked tables of one chain over several scenario platforms.
+
+        The platforms (typically :meth:`repro.scenarios.ScenarioGrid.platforms`
+        output) must share device set, host and link topology; the returned
+        :class:`~repro.devices.grid.GridCostTables` stacks every scenario's
+        tables along a leading condition axis, each slice bitwise identical to
+        :meth:`build` on that platform.  Feed it to
+        :func:`~repro.devices.grid.execute_placements_grid`.
+        """
+        from .grid import build_grid_tables
+
+        return build_grid_tables(chain, platforms, devices)
 
 
 def as_placement_matrix(
@@ -383,15 +385,7 @@ class BatchExecutionResult:
                 )
             )
 
-        active = {alias: platform.device(alias).active_energy(busy[alias]) for alias in busy}
-        idle = {
-            alias: platform.device(alias).idle_energy(max(total_time - busy[alias], 0.0))
-            for alias in busy
-        }
-        energy = EnergyBreakdown(active_j=active, idle_j=idle, transfer_j=transfer_energy)
-        cost_total = sum(
-            platform.device(alias).operating_cost(busy[alias]) for alias in busy
-        )
+        energy, cost_total = finalize_execution(platform, busy, total_time, transfer_energy)
         return ExecutionRecord(
             placement=aliases_row,
             tasks=tuple(task_records),

@@ -35,6 +35,7 @@ __all__ = [
     "edge_cluster_platform",
     "PLATFORMS",
     "get_platform",
+    "register_platform",
 ]
 
 
@@ -257,3 +258,23 @@ def get_platform(name: str) -> Platform:
     except KeyError as exc:
         raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}") from exc
     return factory()
+
+
+def register_platform(name: str, factory, overwrite: bool = False) -> None:
+    """Register a platform factory under a name for :func:`get_platform`.
+
+    ``factory`` is a zero-argument callable returning a fresh
+    :class:`Platform` (a function, or e.g. ``functools.partial`` closing over
+    a scenario-derived platform).  Re-registering an existing name requires
+    ``overwrite=True`` so presets cannot be shadowed by accident.
+    """
+    if not name:
+        raise ValueError("platform name must be non-empty")
+    if not callable(factory):
+        raise TypeError(f"platform factory must be callable, got {factory!r}")
+    if name in PLATFORMS and not overwrite:
+        raise ValueError(
+            f"platform {name!r} is already registered (pass overwrite=True to replace it); "
+            f"existing: {sorted(PLATFORMS)}"
+        )
+    PLATFORMS[name] = factory

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..tasks.task import TaskCost
+from . import costmodel
 
 __all__ = ["DeviceSpec"]
 
@@ -90,12 +91,23 @@ class DeviceSpec:
         return self.peak_gflops * kernel_flops / (kernel_flops + self.half_saturation_flops)
 
     def compute_time(self, cost: TaskCost) -> float:
-        """Pure execution (busy) time of a task on this device, excluding transfers."""
-        kernel_flops = cost.flops / cost.kernel_calls
-        per_kernel_compute = (kernel_flops + self.half_saturation_flops) / (self.peak_gflops * 1e9)
-        compute = cost.kernel_calls * per_kernel_compute
-        memory = cost.kernel_calls * cost.working_set_bytes / (self.memory_bandwidth_gbs * 1e9)
-        return max(compute, memory) + cost.kernel_calls * self.kernel_launch_overhead_s
+        """Pure execution (busy) time of a task on this device, excluding transfers.
+
+        Thin facade over :func:`repro.devices.costmodel.busy_time`, the single
+        source of the roofline-with-saturation formula (shared with the
+        vectorized scenario-grid table build).
+        """
+        return float(
+            costmodel.busy_time(
+                cost.flops,
+                cost.kernel_calls,
+                cost.working_set_bytes,
+                self.peak_gflops,
+                self.half_saturation_flops,
+                self.memory_bandwidth_gbs,
+                self.kernel_launch_overhead_s,
+            )
+        )
 
     def active_energy(self, busy_seconds: float) -> float:
         """Energy (J) drawn while executing for ``busy_seconds``."""

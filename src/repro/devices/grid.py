@@ -1,0 +1,484 @@
+"""Condition-stacked batch execution: all (scenario, placement) pairs at once.
+
+The robustness workload evaluates one placement space under *many* platform
+conditions (a scenario grid).  Looping :func:`~repro.devices.batch.execute_placements`
+over per-scenario platforms re-enters Python once per scenario -- table build,
+gathers and folds each time.  This module stacks the cost tables of every
+scenario platform along a leading condition axis:
+
+* :class:`GridCostTables` (built by :meth:`ChainCostTables.build_grid`) holds
+  the per-(task, device) and per-(device, device) tables with shape
+  ``(n_conditions, ...)``, built **vectorized across scenarios** straight from
+  the :mod:`~repro.devices.costmodel` formula functions -- each scenario's
+  slice is bitwise identical to ``ChainCostTables.build`` on that platform;
+* :func:`execute_placements_grid` evaluates an ``(n_placements, n_tasks)``
+  placement matrix against every condition in one NumPy pass, returning
+  metrics shaped ``(n_conditions, n_placements)`` that are bitwise identical
+  to looping ``execute_placements`` per derived platform.
+
+Scenario-independent quantities (byte counts, FLOPs) are stored once without
+the condition axis -- conditions change speeds, powers and prices, never how
+many bytes a placement moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..tasks.chain import TaskChain
+from . import costmodel
+from .batch import (
+    BatchExecutionResult,
+    ChainCostTables,
+    as_placement_matrix,
+    placement_labels,
+)
+from .costmodel import PENALTY_MESSAGE_BYTES
+from .platform import Platform
+
+__all__ = ["GridCostTables", "GridExecutionResult", "build_grid_tables", "execute_placements_grid"]
+
+
+def _device_param(platforms: Sequence[Platform], aliases: Sequence[str], field: str) -> np.ndarray:
+    """Per-(scenario, device) array of one DeviceSpec parameter."""
+    return np.array(
+        [[getattr(platform.device(alias), field) for alias in aliases] for platform in platforms]
+    )
+
+
+@dataclass(frozen=True)
+class GridCostTables:
+    """Cost tables of one chain under every platform of a scenario grid.
+
+    Same layout as :class:`~repro.devices.batch.ChainCostTables` with a
+    leading condition axis on every scenario-dependent array; scenario-
+    independent arrays (``hostio_bytes``, ``task_flops``, penalty byte
+    counts) carry no condition axis.  ``table(i)`` slices out one scenario's
+    :class:`ChainCostTables`, bitwise identical to building it directly.
+    """
+
+    task_names: tuple[str, ...]
+    platforms: tuple[Platform, ...]
+    aliases: tuple[str, ...]
+    #: Device-iteration order shared by every platform (the energy/cost fold
+    #: walks it exactly like the per-platform executor does).
+    device_order: tuple[str, ...]
+    busy: np.ndarray  # (s, k, m)
+    hostio_time: np.ndarray  # (s, k, m)
+    hostio_bytes: np.ndarray  # (k, m)
+    energy_in: np.ndarray  # (s, k, m)
+    energy_out: np.ndarray  # (s, k, m)
+    task_flops: np.ndarray  # (k,)
+    penalty_time: np.ndarray  # (s, m, m)
+    penalty_energy: np.ndarray  # (s, m, m)
+    penalty_bytes: np.ndarray  # (m, m)
+    first_penalty_time: np.ndarray  # (s, m)
+    first_penalty_energy: np.ndarray  # (s, m)
+    first_penalty_bytes: np.ndarray  # (m,)
+    power_active: np.ndarray  # (s, m)
+    power_idle: np.ndarray  # (s, m)
+    cost_per_hour: np.ndarray  # (s, m)
+    #: Idle power of platform devices outside the candidate aliases, keyed by
+    #: position in ``device_order`` restricted to those devices: ``(s, n_extra)``.
+    extra_idle_power: np.ndarray
+    missing_links: frozenset = frozenset()
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.platforms)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_names)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.aliases)
+
+    @property
+    def host(self) -> str:
+        return self.platforms[0].host
+
+    def table(self, index: int) -> ChainCostTables:
+        """The :class:`ChainCostTables` of one scenario (bitwise identical to
+        ``ChainCostTables.build(chain, platforms[index], aliases)``)."""
+        return ChainCostTables(
+            task_names=self.task_names,
+            platform=self.platforms[index],
+            aliases=self.aliases,
+            busy=self.busy[index],
+            hostio_time=self.hostio_time[index],
+            hostio_bytes=self.hostio_bytes,
+            energy_in=self.energy_in[index],
+            energy_out=self.energy_out[index],
+            task_flops=self.task_flops,
+            penalty_time=self.penalty_time[index],
+            penalty_energy=self.penalty_energy[index],
+            penalty_bytes=self.penalty_bytes,
+            first_penalty_time=self.first_penalty_time[index],
+            first_penalty_energy=self.first_penalty_energy[index],
+            first_penalty_bytes=self.first_penalty_bytes,
+            missing_links=self.missing_links,
+        )
+
+
+def build_grid_tables(
+    chain: TaskChain, platforms: Sequence[Platform], devices: Sequence[str] | None = None
+) -> GridCostTables:
+    """Build the condition-stacked cost tables of a chain over scenario platforms.
+
+    Every platform must share the base platform's *shape*: the same device
+    aliases (in the same order), the same host and the same link topology --
+    conditions re-parameterize a platform, they do not rewire it.  The tables
+    are computed vectorized across the scenario axis through the
+    :mod:`~repro.devices.costmodel` formulas, so each scenario's slice is
+    bitwise identical to the scalar per-platform build.
+    """
+    platforms = tuple(platforms)
+    if not platforms:
+        raise ValueError("at least one platform is required")
+    base = platforms[0]
+    device_order = tuple(base.devices)
+    link_keys = set(base.links)
+    for platform in platforms[1:]:
+        if tuple(platform.devices) != device_order:
+            raise ValueError(
+                f"platform {platform.name!r} has devices {list(platform.devices)}, "
+                f"expected {list(device_order)} -- scenario platforms must share "
+                f"the base platform's device set"
+            )
+        if platform.host != base.host:
+            raise ValueError(
+                f"platform {platform.name!r} has host {platform.host!r}, expected {base.host!r}"
+            )
+        if set(platform.links) != link_keys:
+            raise ValueError(
+                f"platform {platform.name!r} has links {sorted(platform.links)}, "
+                f"expected {sorted(link_keys)} -- conditions must not rewire the topology"
+            )
+
+    aliases = tuple(devices) if devices is not None else tuple(base.aliases)
+    if not aliases:
+        raise ValueError("at least one device alias is required")
+    if len(set(aliases)) != len(aliases):
+        raise ValueError("device aliases must be unique")
+    base.validate_aliases(aliases)
+    host = base.host
+    costs = chain.costs()
+    s, k, m = len(platforms), len(chain), len(aliases)
+    missing: set[tuple[str, str]] = set()
+
+    # -- per-(scenario, device) parameter gathers ---------------------------
+    peak = _device_param(platforms, aliases, "peak_gflops")
+    half_saturation = _device_param(platforms, aliases, "half_saturation_flops")
+    mem_bw = _device_param(platforms, aliases, "memory_bandwidth_gbs")
+    launch = _device_param(platforms, aliases, "kernel_launch_overhead_s")
+    startup = _device_param(platforms, aliases, "task_startup_overhead_s")
+
+    # -- host<->device and device<->device link parameters (NaN if absent) --
+    def link_params(a: str, b: str) -> list[tuple[float, float, float]]:
+        out = []
+        for platform in platforms:
+            try:
+                link = platform.link(a, b)
+            except KeyError:
+                out.append((np.nan, np.nan, np.nan))
+            else:
+                out.append((link.bandwidth_gbs, link.latency_s, link.energy_per_byte_j))
+        return out
+
+    host_bw = np.full((s, m), np.nan)
+    host_lat = np.full((s, m), np.nan)
+    host_epb = np.full((s, m), np.nan)
+    host_missing = np.zeros(m, dtype=bool)
+    for d, alias in enumerate(aliases):
+        if alias == host:
+            continue
+        params = link_params(host, alias)
+        if np.isnan(params[0][0]):
+            missing.add((host, alias))
+            host_missing[d] = True
+        host_bw[:, d] = [p[0] for p in params]
+        host_lat[:, d] = [p[1] for p in params]
+        host_epb[:, d] = [p[2] for p in params]
+
+    pair_bw = np.full((s, m, m), np.nan)
+    pair_lat = np.full((s, m, m), np.nan)
+    pair_epb = np.full((s, m, m), np.nan)
+    for i, a in enumerate(aliases):
+        for j, b in enumerate(aliases):
+            if a == b:
+                continue
+            params = link_params(a, b)
+            if np.isnan(params[0][0]):
+                missing.add((a, b))
+                continue
+            pair_bw[:, i, j] = [p[0] for p in params]
+            pair_lat[:, i, j] = [p[1] for p in params]
+            pair_epb[:, i, j] = [p[2] for p in params]
+
+    nonhost = np.array([alias != host for alias in aliases])
+
+    # -- per-(task, device) tables, vectorized over the scenario axis -------
+    busy = np.empty((s, k, m))
+    hostio_time = np.zeros((s, k, m))
+    hostio_bytes = np.zeros((k, m))
+    energy_in = np.zeros((s, k, m))
+    energy_out = np.zeros((s, k, m))
+    task_flops = np.array([cost.flops for cost in costs], dtype=float)
+    for t, cost in enumerate(costs):
+        busy[:, t, :] = costmodel.busy_time(
+            cost.flops, cost.kernel_calls, cost.working_set_bytes, peak, half_saturation, mem_bw, launch
+        )
+        if nonhost.any():
+            # Host I/O and startup only exist for offloaded tasks; the same
+            # single addition per value as the scalar build.
+            hostio_time[:, t, nonhost] = (
+                costmodel.transfer_time(cost.input_bytes, host_bw, host_lat)
+                + costmodel.transfer_time(cost.output_bytes, host_bw, host_lat)
+            )[:, nonhost]
+            energy_in[:, t, nonhost] = costmodel.transfer_energy(cost.input_bytes, host_epb)[:, nonhost]
+            energy_out[:, t, nonhost] = costmodel.transfer_energy(cost.output_bytes, host_epb)[:, nonhost]
+            hostio_bytes[t, nonhost] = cost.transferred_bytes
+            busy[:, t, nonhost] += startup[:, nonhost]
+    # Missing host links poison every link-dependent field, even for zero-byte
+    # transfers (the scalar build NaNs the whole entry via the KeyError path).
+    if host_missing.any():
+        hostio_time[:, :, host_missing] = np.nan
+        energy_in[:, :, host_missing] = np.nan
+        energy_out[:, :, host_missing] = np.nan
+
+    # -- penalty tables -----------------------------------------------------
+    offdiag = ~np.eye(m, dtype=bool)
+    penalty_time = np.zeros((s, m, m))
+    penalty_energy = np.zeros((s, m, m))
+    penalty_time[:, offdiag] = costmodel.transfer_time(PENALTY_MESSAGE_BYTES, pair_bw, pair_lat)[
+        :, offdiag
+    ]
+    penalty_energy[:, offdiag] = costmodel.transfer_energy(PENALTY_MESSAGE_BYTES, pair_epb)[:, offdiag]
+    penalty_bytes = np.where(offdiag, PENALTY_MESSAGE_BYTES, 0.0)
+
+    first_penalty_time = np.zeros((s, m))
+    first_penalty_energy = np.zeros((s, m))
+    first_penalty_time[:, nonhost] = costmodel.transfer_time(
+        PENALTY_MESSAGE_BYTES, host_bw, host_lat
+    )[:, nonhost]
+    first_penalty_energy[:, nonhost] = costmodel.transfer_energy(PENALTY_MESSAGE_BYTES, host_epb)[
+        :, nonhost
+    ]
+    if host_missing.any():
+        first_penalty_time[:, host_missing] = np.nan
+        first_penalty_energy[:, host_missing] = np.nan
+    first_penalty_bytes = np.where(nonhost, PENALTY_MESSAGE_BYTES, 0.0)
+
+    extra = [alias for alias in device_order if alias not in aliases]
+    extra_idle_power = np.array(
+        [[platform.device(alias).power_idle_w for alias in extra] for platform in platforms]
+    ).reshape(s, len(extra))
+
+    return GridCostTables(
+        task_names=tuple(chain.task_names),
+        platforms=platforms,
+        aliases=aliases,
+        device_order=device_order,
+        busy=busy,
+        hostio_time=hostio_time,
+        hostio_bytes=hostio_bytes,
+        energy_in=energy_in,
+        energy_out=energy_out,
+        task_flops=task_flops,
+        penalty_time=penalty_time,
+        penalty_energy=penalty_energy,
+        penalty_bytes=penalty_bytes,
+        first_penalty_time=first_penalty_time,
+        first_penalty_energy=first_penalty_energy,
+        first_penalty_bytes=first_penalty_bytes,
+        power_active=_device_param(platforms, aliases, "power_active_w"),
+        power_idle=_device_param(platforms, aliases, "power_idle_w"),
+        cost_per_hour=_device_param(platforms, aliases, "cost_per_hour"),
+        extra_idle_power=extra_idle_power,
+        missing_links=frozenset(missing),
+    )
+
+
+@dataclass(frozen=True)
+class GridExecutionResult:
+    """Array-form execution records of one batch under every condition.
+
+    Scenario-dependent metrics have shape ``(n_conditions, n_placements)``
+    (per-device columns ``(n_conditions, n_placements, n_devices)``); byte
+    counts and FLOPs, which conditions cannot change, are stored once.
+    Every slice along the condition axis is bitwise identical to
+    :func:`~repro.devices.batch.execute_placements` on the scenario's derived
+    platform -- :meth:`batch` materialises that view on demand.
+    """
+
+    tables: GridCostTables
+    placements: np.ndarray
+    total_time_s: np.ndarray  # (s, n)
+    busy_by_device: np.ndarray  # (s, n, m)
+    flops_by_device: np.ndarray  # (n, m)
+    transferred_bytes: np.ndarray  # (n,)
+    transfer_energy_j: np.ndarray  # (s, n)
+    active_j: np.ndarray  # (s, n, m)
+    idle_j: np.ndarray  # (s, n, m)
+    energy_total_j: np.ndarray  # (s, n)
+    operating_cost: np.ndarray  # (s, n)
+
+    def __len__(self) -> int:
+        """Number of placements (matching :class:`BatchExecutionResult`)."""
+        return self.placements.shape[0]
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.tables.n_scenarios
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        return self.tables.aliases
+
+    def placement(self, index: int) -> tuple[str, ...]:
+        return tuple(self.aliases[d] for d in self.placements[index])
+
+    def label(self, index: int) -> str:
+        return "".join(self.placement(index))
+
+    def labels(self) -> list[str]:
+        return placement_labels(self.placements, self.aliases)
+
+    def metric_values(self, metric: str = "time") -> np.ndarray:
+        """``(n_conditions, n_placements)`` values of one scalar metric."""
+        if metric == "time":
+            return self.total_time_s
+        if metric == "energy":
+            return self.energy_total_j
+        if metric == "cost":
+            return self.operating_cost
+        raise ValueError(f"unknown metric {metric!r}; choose 'time', 'energy' or 'cost'")
+
+    def batch(self, index: int) -> BatchExecutionResult:
+        """One scenario's :class:`BatchExecutionResult` (views, no copies)."""
+        return BatchExecutionResult(
+            tables=self.tables.table(index),
+            placements=self.placements,
+            total_time_s=self.total_time_s[index],
+            busy_by_device=self.busy_by_device[index],
+            flops_by_device=self.flops_by_device,
+            transferred_bytes=self.transferred_bytes,
+            transfer_energy_j=self.transfer_energy_j[index],
+            active_j=self.active_j[index],
+            idle_j=self.idle_j[index],
+            energy_total_j=self.energy_total_j[index],
+            operating_cost=self.operating_cost[index],
+        )
+
+    def batches(self):
+        """Iterate the per-scenario batch views, in grid order."""
+        for index in range(self.n_scenarios):
+            yield self.batch(index)
+
+
+def execute_placements_grid(tables: GridCostTables, placements: np.ndarray) -> GridExecutionResult:
+    """Evaluate every placement under every condition in one vectorized pass.
+
+    The grid analogue of :func:`~repro.devices.batch.execute_placements`: the
+    same gathers and left folds with a leading condition axis, so every
+    ``(scenario, placement)`` element undergoes the identical sequence of
+    IEEE-754 operations as the per-scenario loop -- bitwise equal results.
+    """
+    P = as_placement_matrix(placements, tables.aliases, tables.n_tasks)
+    P = P.astype(np.intp, copy=False)
+    n, k = P.shape
+    s, m = tables.n_scenarios, tables.n_devices
+    task_idx = np.arange(k)
+
+    busy_pt = tables.busy[:, task_idx, P]  # (s, n, k)
+    hostio_time_pt = tables.hostio_time[:, task_idx, P]
+    hostio_bytes_pt = tables.hostio_bytes[task_idx, P]  # (n, k)
+    energy_in_pt = tables.energy_in[:, task_idx, P]
+    energy_out_pt = tables.energy_out[:, task_idx, P]
+    pen_time_pt = np.empty((s, n, k))
+    pen_energy_pt = np.empty((s, n, k))
+    pen_bytes_pt = np.empty((n, k))
+    pen_time_pt[:, :, 0] = tables.first_penalty_time[:, P[:, 0]]
+    pen_energy_pt[:, :, 0] = tables.first_penalty_energy[:, P[:, 0]]
+    pen_bytes_pt[:, 0] = tables.first_penalty_bytes[P[:, 0]]
+    if k > 1:
+        src, dst = P[:, :-1], P[:, 1:]
+        pen_time_pt[:, :, 1:] = tables.penalty_time[:, src, dst]
+        pen_energy_pt[:, :, 1:] = tables.penalty_energy[:, src, dst]
+        pen_bytes_pt[:, 1:] = tables.penalty_bytes[src, dst]
+    transfer_pt = hostio_time_pt + pen_time_pt
+
+    if tables.missing_links and np.isnan(transfer_pt).any():
+        # Same rejection as execute_placements: only placements that actually
+        # traverse a missing link fail, with the offending pair named.
+        _, i, t = (int(v) for v in np.argwhere(np.isnan(transfer_pt))[0])
+        current = tables.aliases[P[i, t]]
+        if np.isnan(hostio_time_pt[:, i, t]).any():
+            a, b = tables.host, current
+        else:
+            a = tables.host if t == 0 else tables.aliases[P[i, t - 1]]
+            b = current
+        raise KeyError(
+            f"no link defined between {a!r} and {b!r} "
+            f"(required by placement {placement_labels(P[i : i + 1], tables.aliases)[0]!r})"
+        )
+
+    # Left folds in task order: bitwise identical to the per-scenario loop.
+    total_time = np.zeros((s, n))
+    transferred = np.zeros(n)
+    transfer_energy = np.zeros((s, n))
+    busy_by_device = np.zeros((s, n, m))
+    flops_by_device = np.zeros((n, m))
+    for t in range(k):
+        total_time += busy_pt[:, :, t] + transfer_pt[:, :, t]
+        transferred += hostio_bytes_pt[:, t] + pen_bytes_pt[:, t]
+        transfer_energy += energy_in_pt[:, :, t]
+        transfer_energy += energy_out_pt[:, :, t]
+        transfer_energy += pen_energy_pt[:, :, t]
+        col = P[:, t]
+        for d in range(m):
+            mask = col == d
+            busy_by_device[:, :, d] += busy_pt[:, :, t] * mask
+            flops_by_device[:, d] += tables.task_flops[t] * mask
+
+    active = busy_by_device * tables.power_active[:, None, :]
+    idle = np.maximum(total_time[:, :, None] - busy_by_device, 0.0) * tables.power_idle[:, None, :]
+
+    # Fold the per-device energy/cost terms in the shared device order,
+    # exactly like execute_placements walks platform.devices; candidate
+    # devices contribute active/idle/cost columns, the rest idle throughout.
+    column = {alias: j for j, alias in enumerate(tables.aliases)}
+    operating_cost = np.zeros((s, n))
+    active_sum = np.zeros((s, n))
+    idle_sum = np.zeros((s, n))
+    extra_position = 0
+    for alias in tables.device_order:
+        j = column.get(alias)
+        if j is None:
+            idle_w = tables.extra_idle_power[:, extra_position]
+            extra_position += 1
+            idle_sum += np.maximum(total_time - 0.0, 0.0) * idle_w[:, None]
+            continue
+        operating_cost += (tables.cost_per_hour[:, j, None] * busy_by_device[:, :, j]) / 3600.0
+        active_sum += active[:, :, j]
+        idle_sum += idle[:, :, j]
+    energy_total = active_sum + idle_sum + transfer_energy
+
+    return GridExecutionResult(
+        tables=tables,
+        placements=P,
+        total_time_s=total_time,
+        busy_by_device=busy_by_device,
+        flops_by_device=flops_by_device,
+        transferred_bytes=transferred,
+        transfer_energy_j=transfer_energy,
+        active_j=active,
+        idle_j=idle,
+        energy_total_j=energy_total,
+        operating_cost=operating_cost,
+    )

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from . import costmodel
+
 __all__ = ["LinkSpec"]
 
 
@@ -32,16 +36,15 @@ class LinkSpec:
         if self.energy_per_byte_j < 0:
             raise ValueError("energy_per_byte_j must be non-negative")
 
-    def transfer_time(self, n_bytes: float) -> float:
-        """Seconds needed to move ``n_bytes`` across the link (one message)."""
-        if n_bytes < 0:
-            raise ValueError("n_bytes must be non-negative")
-        if n_bytes == 0:
-            return 0.0
-        return self.latency_s + n_bytes / (self.bandwidth_gbs * 1e9)
+    def transfer_time(self, n_bytes: "float | np.ndarray") -> "float | np.ndarray":
+        """Seconds needed to move ``n_bytes`` across the link (one message).
 
-    def transfer_energy(self, n_bytes: float) -> float:
-        """Energy (J) consumed by moving ``n_bytes`` across the link."""
-        if n_bytes < 0:
-            raise ValueError("n_bytes must be non-negative")
-        return self.energy_per_byte_j * n_bytes
+        Accepts a scalar (returning a float, exactly as before) or an ndarray
+        of byte counts (returning the elementwise transfer times) -- the
+        vectorized form the condition-stacked table build batches over.
+        """
+        return costmodel.transfer_time(n_bytes, self.bandwidth_gbs, self.latency_s)
+
+    def transfer_energy(self, n_bytes: "float | np.ndarray") -> "float | np.ndarray":
+        """Energy (J) consumed by moving ``n_bytes`` across the link (broadcasts)."""
+        return costmodel.transfer_energy(n_bytes, self.energy_per_byte_j)

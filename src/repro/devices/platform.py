@@ -90,6 +90,50 @@ class Platform:
             return 0.0
         return self.link(a, b).transfer_energy(n_bytes)
 
+    # ------------------------------------------------------------------
+    def with_devices(self, replacements: Mapping[str, DeviceSpec], name: str | None = None) -> "Platform":
+        """Derived platform with some device specs replaced (same topology).
+
+        Every key must be an existing alias -- conditions change what a device
+        *is* (its clocks, load, power), never which devices exist.  Links, the
+        host designation and (by default) the name carry over unchanged.  This
+        is the derivation primitive :func:`repro.scenarios.apply_conditions`
+        builds scenario platforms with.
+        """
+        self.validate_aliases(replacements)
+        return Platform(
+            devices={**self.devices, **replacements},
+            links=self.links,
+            host=self.host,
+            name=self.name if name is None else name,
+        )
+
+    def with_links(
+        self, replacements: Mapping[tuple[str, str], LinkSpec], name: str | None = None
+    ) -> "Platform":
+        """Derived platform with some links replaced (same devices).
+
+        Keys are unordered device pairs in either spelling; every pair must
+        already be linked on this platform -- conditions degrade or upgrade an
+        interconnect, they do not rewire the topology (build a new
+        :class:`Platform` for that).
+        """
+        normalised: dict[tuple[str, str], LinkSpec] = {}
+        for (a, b), link in replacements.items():
+            key = _pair(a, b)
+            if key not in self.links:
+                raise KeyError(
+                    f"no link defined between {a!r} and {b!r}; "
+                    f"existing links: {sorted(self.links)}"
+                )
+            normalised[key] = link
+        return Platform(
+            devices=self.devices,
+            links={**self.links, **normalised},
+            host=self.host,
+            name=self.name if name is None else name,
+        )
+
     def validate_aliases(self, aliases: Iterable[str]) -> None:
         """Raise if any alias is not a device of this platform."""
         unknown = sorted(set(aliases) - set(self.devices))

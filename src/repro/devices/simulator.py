@@ -33,6 +33,12 @@ import numpy as np
 from ..measurement.dataset import MeasurementSet
 from ..measurement.noise import NoiseModel, default_system_noise
 from ..tasks.chain import TaskChain
+from .costmodel import (
+    PENALTY_MESSAGE_BYTES,
+    finalize_execution,
+    penalty_cost,
+    task_device_cost,
+)
 from .energy import EnergyBreakdown
 from .platform import Platform
 
@@ -45,9 +51,6 @@ __all__ = [
     "ExecutionRecord",
     "SimulatedExecutor",
 ]
-
-#: Size of the scalar penalty message exchanged between consecutive tasks.
-PENALTY_MESSAGE_BYTES = 8.0
 
 
 @dataclass(frozen=True)
@@ -181,27 +184,18 @@ class SimulatedExecutor:
 
         for task, alias in zip(chain, aliases):
             cost = task.cost()
-            device = self.platform.device(alias)
-            busy_time = device.compute_time(cost)
-
-            transfer_time = 0.0
-            task_bytes = 0.0
-            if alias != host:
-                # Inputs travel host -> device, results device -> host.
-                transfer_time += self.platform.transfer_time(host, alias, cost.input_bytes)
-                transfer_time += self.platform.transfer_time(alias, host, cost.output_bytes)
-                transfer_energy += self.platform.transfer_energy(host, alias, cost.input_bytes)
-                transfer_energy += self.platform.transfer_energy(alias, host, cost.output_bytes)
-                task_bytes += cost.transferred_bytes
-                busy_time += device.task_startup_overhead_s
-            if alias != previous_device:
-                # The scalar penalty produced by the previous task crosses devices,
-                # travelling the direct previous->current link: device-to-device
-                # transfers are not staged through the host.
-                penalty_bytes = PENALTY_MESSAGE_BYTES
-                transfer_time += self.platform.transfer_time(previous_device, alias, penalty_bytes)
-                transfer_energy += self.platform.transfer_energy(previous_device, alias, penalty_bytes)
-                task_bytes += penalty_bytes
+            # Shared cost model: busy time (incl. startup), host I/O shipping
+            # (inputs host -> device, results device -> host), and the scalar
+            # penalty crossing the direct previous->current link (device-to-
+            # device transfers are not staged through the host).
+            device_cost = task_device_cost(self.platform, cost, alias)
+            hop = penalty_cost(self.platform, previous_device, alias)
+            busy_time = device_cost.busy_s
+            transfer_time = device_cost.hostio_time_s + hop.time_s
+            task_bytes = device_cost.hostio_bytes + hop.n_bytes
+            transfer_energy += device_cost.energy_in_j
+            transfer_energy += device_cost.energy_out_j
+            transfer_energy += hop.energy_j
 
             busy[alias] += busy_time
             flops[alias] += cost.flops
@@ -219,15 +213,7 @@ class SimulatedExecutor:
                 )
             )
 
-        active = {alias: self.platform.device(alias).active_energy(busy[alias]) for alias in busy}
-        idle = {
-            alias: self.platform.device(alias).idle_energy(max(total_time - busy[alias], 0.0))
-            for alias in busy
-        }
-        energy = EnergyBreakdown(active_j=active, idle_j=idle, transfer_j=transfer_energy)
-        cost_total = sum(
-            self.platform.device(alias).operating_cost(busy[alias]) for alias in busy
-        )
+        energy, cost_total = finalize_execution(self.platform, busy, total_time, transfer_energy)
         return ExecutionRecord(
             placement=aliases,
             tasks=tuple(task_records),

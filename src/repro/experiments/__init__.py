@@ -8,18 +8,28 @@ Experiment ids (see DESIGN.md, per-experiment index):
 * ``table1``           -- the clustering of the 8 RLS placements (Table I).
 * ``decision_model``   -- the cost/speed trade-off numbers of Section IV.
 * ``energy_switching`` -- the DDD <-> DAA duty-cycle scenario of Section IV.
+* ``robustness``       -- winner/performance-class drift along a wifi -> lte sweep.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from . import decision_model, energy_switching, figure1, figure2, section3_scores, table1
+from . import (
+    decision_model,
+    energy_switching,
+    figure1,
+    figure2,
+    robustness,
+    section3_scores,
+    table1,
+)
 from .base import default_analyzer
 from .decision_model import DecisionModelConfig, DecisionModelResult
 from .energy_switching import EnergySwitchingConfig, EnergySwitchingResult
 from .figure1 import Figure1Config, Figure1Result
 from .figure2 import Figure2Config, Figure2Result, paper_oracle
+from .robustness import RobustnessConfig, RobustnessResult
 from .section3_scores import Section3Config, Section3Result
 from .table1 import PAPER_TABLE1, Table1Config, Table1Result
 
@@ -41,6 +51,8 @@ __all__ = [
     "DecisionModelResult",
     "EnergySwitchingConfig",
     "EnergySwitchingResult",
+    "RobustnessConfig",
+    "RobustnessResult",
 ]
 
 #: Registry: experiment id -> runner callable (each accepts an optional config object).
@@ -51,6 +63,7 @@ EXPERIMENTS: Mapping[str, Callable[..., Any]] = {
     "table1": table1.run,
     "decision_model": decision_model.run,
     "energy_switching": energy_switching.run,
+    "robustness": robustness.run,
 }
 
 

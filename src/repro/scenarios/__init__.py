@@ -1,0 +1,50 @@
+"""Condition-parameterized platforms: environment drift as first-class data.
+
+The paper shows algorithm rankings are unstable under *system noise*; the same
+instability appears under *environment drift* -- a Wi-Fi link degrading to
+LTE, a loaded CPU, DVFS throttling, a spot-price spike.  This subpackage
+turns drift into data:
+
+* :class:`ConditionAxis` subclasses transform a platform along one drift
+  dimension (link bandwidth/latency scaling, device load, DVFS frequency,
+  energy price, link-quality interpolation);
+* a :class:`Scenario` names one point in condition space (axes pinned to
+  values, plus a weight for expectation-style objectives);
+* a :class:`ScenarioGrid` is an ordered cartesian-or-explicit set of
+  scenarios, with :func:`link_degradation_grid` building the canonical
+  wifi->lte sweep;
+* :func:`apply_conditions` derives a scenario's platform through
+  ``Platform.with_devices`` / ``Platform.with_links``.
+
+Downstream, :meth:`repro.devices.batch.ChainCostTables.build_grid` evaluates
+all (scenario, placement) pairs in one NumPy pass and
+:func:`repro.search.search_grid` selects placements that stay good across the
+whole grid (worst case, expectation, minimax regret).
+"""
+
+from .conditions import (
+    ConditionAxis,
+    DeviceLoadFactor,
+    DvfsFrequencyScale,
+    EnergyPriceScale,
+    LinkBandwidthScale,
+    LinkInterpolation,
+    LinkLatencyScale,
+    Scenario,
+    apply_conditions,
+)
+from .grid import ScenarioGrid, link_degradation_grid
+
+__all__ = [
+    "ConditionAxis",
+    "LinkBandwidthScale",
+    "LinkLatencyScale",
+    "DeviceLoadFactor",
+    "DvfsFrequencyScale",
+    "EnergyPriceScale",
+    "LinkInterpolation",
+    "Scenario",
+    "ScenarioGrid",
+    "apply_conditions",
+    "link_degradation_grid",
+]

@@ -1,0 +1,314 @@
+"""Condition axes and scenarios: environment drift as first-class objects.
+
+Every layer below this one assumes a frozen :class:`~repro.devices.platform.Platform`;
+real deployments drift -- a Wi-Fi link degrades to LTE, a co-located job loads
+the CPU, DVFS throttles the clocks, electricity prices move.  A
+:class:`ConditionAxis` describes *one* such drift dimension as a pure platform
+transformation; a :class:`Scenario` pins several axes to concrete values (one
+named point in condition space); :func:`apply_conditions` derives the
+scenario's platform through the :meth:`Platform.with_devices` /
+:meth:`Platform.with_links` primitives.
+
+All axes are value-type dataclasses (picklable, hashable) so scenarios can
+cross process boundaries in sharded sweeps, and applying an axis at its
+neutral value (scale ``1.0``, interpolation ``t=0`` with matching endpoints)
+reproduces the base platform's cost model **bitwise** (multiplying an IEEE-754
+double by ``1.0`` is exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..devices.device import DeviceSpec
+from ..devices.link import LinkSpec
+from ..devices.platform import Platform
+
+__all__ = [
+    "ConditionAxis",
+    "LinkBandwidthScale",
+    "LinkLatencyScale",
+    "DeviceLoadFactor",
+    "DvfsFrequencyScale",
+    "EnergyPriceScale",
+    "LinkInterpolation",
+    "Scenario",
+    "apply_conditions",
+]
+
+
+def _normalise_pairs(
+    links: "Sequence[tuple[str, str]] | None",
+) -> "tuple[tuple[str, str], ...] | None":
+    if links is None:
+        return None
+    return tuple((a, b) if a <= b else (b, a) for a, b in links)
+
+
+class ConditionAxis:
+    """One dimension of environment drift: ``value -> platform transformation``.
+
+    Subclasses define :meth:`apply`, a pure function from ``(platform, value)``
+    to a derived platform, and expose a ``name`` used in scenario labels.
+    """
+
+    name: str = "condition"
+
+    def apply(self, platform: Platform, value: float) -> Platform:  # pragma: no cover
+        raise NotImplementedError
+
+    def describe(self, value: float) -> str:
+        """Human-readable ``axis=value`` fragment for generated scenario names."""
+        return f"{self.name}={value:g}"
+
+
+def _selected_links(
+    platform: Platform, links: "tuple[tuple[str, str], ...] | None"
+) -> list[tuple[str, str]]:
+    if links is None:
+        return list(platform.links)
+    for a, b in links:
+        platform.link(a, b)  # raises with the usual message when absent
+    return [(a, b) for (a, b) in links]
+
+
+def _selected_devices(platform: Platform, devices: "tuple[str, ...] | None") -> list[str]:
+    if devices is None:
+        return list(platform.devices)
+    platform.validate_aliases(devices)
+    return list(devices)
+
+
+@dataclass(frozen=True)
+class LinkBandwidthScale(ConditionAxis):
+    """Multiply the bandwidth of some links (``None`` = every link) by the value.
+
+    ``value > 1`` is an upgrade, ``value < 1`` congestion/degradation.
+    """
+
+    links: "tuple[tuple[str, str], ...] | None" = None
+    name: str = "link-bandwidth"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", _normalise_pairs(self.links))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if value <= 0:
+            raise ValueError(f"{self.name} scale must be positive, got {value!r}")
+        return platform.with_links(
+            {
+                pair: replace(link, bandwidth_gbs=link.bandwidth_gbs * value)
+                for pair in _selected_links(platform, self.links)
+                for link in (platform.link(*pair),)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class LinkLatencyScale(ConditionAxis):
+    """Multiply the latency of some links (``None`` = every link) by the value."""
+
+    links: "tuple[tuple[str, str], ...] | None" = None
+    name: str = "link-latency"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", _normalise_pairs(self.links))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if value < 0:
+            raise ValueError(f"{self.name} scale must be non-negative, got {value!r}")
+        return platform.with_links(
+            {
+                pair: replace(link, latency_s=link.latency_s * value)
+                for pair in _selected_links(platform, self.links)
+                for link in (platform.link(*pair),)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class DeviceLoadFactor(ConditionAxis):
+    """Competing load on some devices: value ``L >= 1`` divides the effective
+    compute throughput and memory bandwidth by ``L`` (the task gets a ``1/L``
+    share of the device)."""
+
+    devices: "tuple[str, ...] | None" = None
+    name: str = "device-load"
+
+    def __post_init__(self) -> None:
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(self.devices))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if value < 1:
+            raise ValueError(f"{self.name} must be >= 1 (no load), got {value!r}")
+        return platform.with_devices(
+            {
+                alias: replace(
+                    spec,
+                    peak_gflops=spec.peak_gflops / value,
+                    memory_bandwidth_gbs=spec.memory_bandwidth_gbs / value,
+                )
+                for alias in _selected_devices(platform, self.devices)
+                for spec in (platform.device(alias),)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class DvfsFrequencyScale(ConditionAxis):
+    """DVFS throttling: frequency factor ``f`` in ``(0, 1]`` scales the peak
+    throughput and (to first order, dynamic power being roughly proportional
+    to frequency at a fixed voltage step) the active power draw."""
+
+    devices: "tuple[str, ...] | None" = None
+    name: str = "dvfs"
+
+    def __post_init__(self) -> None:
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(self.devices))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if not 0 < value <= 1:
+            raise ValueError(f"{self.name} frequency factor must lie in (0, 1], got {value!r}")
+        return platform.with_devices(
+            {
+                alias: replace(
+                    spec,
+                    peak_gflops=spec.peak_gflops * value,
+                    power_active_w=spec.power_active_w * value,
+                )
+                for alias in _selected_devices(platform, self.devices)
+                for spec in (platform.device(alias),)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class EnergyPriceScale(ConditionAxis):
+    """Multiply the operating cost per hour of some devices by the value
+    (spot-price moves, peak-hour tariffs)."""
+
+    devices: "tuple[str, ...] | None" = None
+    name: str = "energy-price"
+
+    def __post_init__(self) -> None:
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(self.devices))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if value < 0:
+            raise ValueError(f"{self.name} multiplier must be non-negative, got {value!r}")
+        return platform.with_devices(
+            {
+                alias: replace(spec, cost_per_hour=spec.cost_per_hour * value)
+                for alias in _selected_devices(platform, self.devices)
+                for spec in (platform.device(alias),)
+            }
+        )
+
+
+def _interpolate(a: float, b: float, t: float) -> float:
+    """Geometric interpolation for positive endpoints, linear otherwise.
+
+    Link qualities span orders of magnitude (Wi-Fi -> LTE is 10x bandwidth,
+    15x latency), where geometric steps are the natural parameterisation;
+    zero-valued endpoints (e.g. a free link) fall back to linear.  Exact at
+    the endpoints: ``t=0`` returns ``a`` and ``t=1`` returns ``b``.
+    """
+    if t == 0.0:
+        return a
+    if t == 1.0:
+        return b
+    if a > 0 and b > 0:
+        return math.exp((1.0 - t) * math.log(a) + t * math.log(b))
+    return (1.0 - t) * a + t * b
+
+
+@dataclass(frozen=True)
+class LinkInterpolation(ConditionAxis):
+    """Morph some links between two reference specs: value ``t`` in ``[0, 1]``.
+
+    ``t=0`` installs ``start`` verbatim, ``t=1`` installs ``end``; in between,
+    bandwidth/latency/energy-per-byte interpolate geometrically (linear when
+    an endpoint is zero).  This is the wifi->lte degradation axis of the
+    robustness experiment.
+    """
+
+    links: "tuple[tuple[str, str], ...]" = ()
+    start: LinkSpec = None  # type: ignore[assignment]
+    end: LinkSpec = None  # type: ignore[assignment]
+    name: str = "link-quality"
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("LinkInterpolation needs at least one link pair")
+        if self.start is None or self.end is None:
+            raise ValueError("LinkInterpolation needs both start and end LinkSpecs")
+        object.__setattr__(self, "links", _normalise_pairs(self.links))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{self.name} interpolation parameter must lie in [0, 1], got {value!r}")
+        if value == 0.0:
+            spec = self.start
+        elif value == 1.0:
+            spec = self.end
+        else:
+            spec = LinkSpec(
+                name=f"{self.start.name}~{value:.3g}~{self.end.name}",
+                bandwidth_gbs=_interpolate(self.start.bandwidth_gbs, self.end.bandwidth_gbs, value),
+                latency_s=_interpolate(self.start.latency_s, self.end.latency_s, value),
+                energy_per_byte_j=_interpolate(
+                    self.start.energy_per_byte_j, self.end.energy_per_byte_j, value
+                ),
+            )
+        return platform.with_links({pair: spec for pair in _selected_links(platform, self.links)})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named point in condition space: several axes pinned to values.
+
+    ``weight`` is the scenario's probability mass / importance for
+    expectation-style robust objectives (weights need not be normalised).
+    """
+
+    name: str
+    settings: "tuple[tuple[ConditionAxis, float], ...]" = ()
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.weight < 0:
+            raise ValueError("scenario weight must be non-negative")
+        object.__setattr__(self, "settings", tuple((axis, float(v)) for axis, v in self.settings))
+
+    def describe(self) -> str:
+        """``axis=value`` summary of every pinned condition."""
+        if not self.settings:
+            return "baseline"
+        return ", ".join(axis.describe(value) for axis, value in self.settings)
+
+
+def apply_conditions(platform: Platform, scenario: Scenario) -> Platform:
+    """Derive the platform a scenario describes (pure; the base is untouched).
+
+    Axes apply in ``scenario.settings`` order (they commute unless two axes
+    touch the same parameter of the same device/link, in which case the later
+    one sees the earlier one's output -- e.g. stacking load on DVFS).  The
+    derived platform is renamed ``"<base>@<scenario>"``; an empty scenario
+    yields a platform whose cost model is bitwise identical to the base.
+    """
+    derived = platform
+    for axis, value in scenario.settings:
+        derived = axis.apply(derived, value)
+    return Platform(
+        devices=derived.devices,
+        links=derived.links,
+        host=derived.host,
+        name=f"{platform.name}@{scenario.name}",
+    )

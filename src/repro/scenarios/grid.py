@@ -1,0 +1,128 @@
+"""Scenario grids: cartesian or explicit collections of condition points.
+
+A :class:`ScenarioGrid` is the unit the grid execution engine and the robust
+search driver consume: an ordered, named, weighted set of
+:class:`~repro.scenarios.conditions.Scenario` points, with a
+:meth:`~ScenarioGrid.platforms` method deriving the per-scenario platforms
+from one base platform.  :func:`link_degradation_grid` builds the canonical
+wifi->lte sweep of the robustness experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..devices.link import LinkSpec
+from ..devices.platform import Platform
+from .conditions import ConditionAxis, LinkInterpolation, Scenario, apply_conditions
+
+__all__ = ["ScenarioGrid", "link_degradation_grid"]
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """An ordered collection of uniquely named scenarios.
+
+    Build one explicitly from scenarios, or as the cartesian product of
+    condition axes with :meth:`cartesian`.
+    """
+
+    scenarios: tuple[Scenario, ...]
+
+    def __post_init__(self) -> None:
+        scenarios = tuple(self.scenarios)
+        if not scenarios:
+            raise ValueError("a scenario grid needs at least one scenario")
+        names = [scenario.name for scenario in scenarios]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(f"scenario names must be unique, duplicated: {duplicates}")
+        object.__setattr__(self, "scenarios", scenarios)
+
+    @classmethod
+    def cartesian(
+        cls,
+        axes: "Sequence[tuple[ConditionAxis, Sequence[float]]]",
+        weights: "Sequence[float] | None" = None,
+    ) -> "ScenarioGrid":
+        """Cartesian product of axis value lists, in lexicographic order.
+
+        Scenario names are the ``axis=value`` fragments joined with ``|``
+        (e.g. ``"link-bandwidth=0.5|device-load=2"``).  ``weights`` optionally
+        assigns one weight per grid point, in the same lexicographic order.
+        """
+        if not axes:
+            raise ValueError("cartesian grid needs at least one axis")
+        for axis, values in axes:
+            if not list(values):
+                raise ValueError(f"axis {axis.name!r} has no values")
+        combos = list(product(*[list(values) for _, values in axes]))
+        if weights is not None and len(weights) != len(combos):
+            raise ValueError(
+                f"expected {len(combos)} weights (one per grid point), got {len(weights)}"
+            )
+        scenarios = []
+        for i, combo in enumerate(combos):
+            settings = tuple((axis, value) for (axis, _), value in zip(axes, combo))
+            scenarios.append(
+                Scenario(
+                    name="|".join(axis.describe(value) for axis, value in settings),
+                    settings=settings,
+                    weight=1.0 if weights is None else float(weights[i]),
+                )
+            )
+        return cls(scenarios=tuple(scenarios))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(scenario.name for scenario in self.scenarios)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Raw (unnormalised) scenario weights, in grid order."""
+        return np.array([scenario.weight for scenario in self.scenarios], dtype=float)
+
+    def scenario(self, name: str) -> Scenario:
+        for candidate in self.scenarios:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"unknown scenario {name!r}; available: {list(self.names)}")
+
+    def platforms(self, base: Platform) -> list[Platform]:
+        """Per-scenario derived platforms, in grid order."""
+        return [apply_conditions(base, scenario) for scenario in self.scenarios]
+
+
+def link_degradation_grid(
+    links: "Sequence[tuple[str, str]]",
+    start: LinkSpec,
+    end: LinkSpec,
+    n_points: int = 5,
+    axis_name: str = "link-quality",
+) -> ScenarioGrid:
+    """Sweep some links from one quality to another in ``n_points`` steps.
+
+    Point ``i`` installs the :class:`LinkInterpolation` of ``start`` and
+    ``end`` at ``t = i / (n_points - 1)`` -- ``t=0`` is ``start`` verbatim
+    (e.g. healthy Wi-Fi), ``t=1`` is ``end`` (fallen back to LTE).  Scenario
+    names carry the interpolation parameter (``"link-quality=0.25"``).
+    """
+    if n_points < 2:
+        raise ValueError("a degradation sweep needs at least 2 points")
+    axis = LinkInterpolation(links=tuple(links), start=start, end=end, name=axis_name)
+    values = [i / (n_points - 1) for i in range(n_points)]
+    return ScenarioGrid.cartesian([(axis, values)])

@@ -36,10 +36,28 @@ from .objectives import (
     as_objectives,
 )
 from .pareto import dominated_by, pareto_mask
+from .robust import (
+    ExpectedValueObjective,
+    GridSearchResult,
+    RegretObjective,
+    RobustObjective,
+    ScenarioBest,
+    WorstCaseObjective,
+    as_robust_objectives,
+    search_grid,
+)
 from .topk import StreamingTopK
 
 __all__ = [
     "search_space",
+    "search_grid",
+    "GridSearchResult",
+    "ScenarioBest",
+    "RobustObjective",
+    "WorstCaseObjective",
+    "ExpectedValueObjective",
+    "RegretObjective",
+    "as_robust_objectives",
     "SpaceSearch",
     "SearchResult",
     "TopSelection",

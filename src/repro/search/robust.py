@@ -1,0 +1,514 @@
+"""Robust objectives and the streaming grid-search driver.
+
+A placement that wins on today's platform may be the worst choice after the
+Wi-Fi link falls back to LTE.  This module selects placements that stay good
+across a whole :class:`~repro.scenarios.ScenarioGrid`:
+
+* **robust objectives** collapse the ``(n_conditions, n_placements)`` metric
+  grid to one (minimised) scalar per placement -- the worst case over
+  scenarios (:class:`WorstCaseObjective`), the scenario-weighted expectation
+  (:class:`ExpectedValueObjective`), or the maximum regret against each
+  scenario's own best placement (:class:`RegretObjective`);
+* :func:`search_grid` streams the placement space chunk by chunk through
+  :func:`~repro.devices.grid.execute_placements_grid`, folds each chunk into
+  bounded :class:`~repro.search.topk.StreamingTopK` state per robust
+  objective, and tracks each scenario's individual winner so condition drift
+  is visible in the result.
+
+Everything is free of lambdas and mutable shared state, like the rest of the
+search layer: objective specs are value-type dataclasses that survive
+pickling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..offload.space import indices_to_matrix, iter_placement_batches, space_size
+from .constraints import Constraint, feasible_mask
+from .driver import TopSelection
+from .objectives import Objective, as_objective
+from .topk import StreamingTopK
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..devices.grid import GridCostTables, GridExecutionResult
+    from ..devices.simulator import SimulatedExecutor
+    from ..scenarios import Scenario, ScenarioGrid
+    from ..tasks.chain import TaskChain
+
+__all__ = [
+    "RobustObjective",
+    "WorstCaseObjective",
+    "ExpectedValueObjective",
+    "RegretObjective",
+    "ScenarioBest",
+    "GridSearchResult",
+    "as_robust_objectives",
+    "search_grid",
+]
+
+
+def _base_values(base: "str | Objective", grid: "GridExecutionResult") -> np.ndarray:
+    """``(n_conditions, n_placements)`` values of the base objective.
+
+    Metric names read the grid columns directly; general objectives are
+    evaluated on each scenario's batch view and stacked.
+    """
+    if isinstance(base, str):
+        return grid.metric_values(base)
+    return np.stack([base(batch) for batch in grid.batches()], axis=0)
+
+
+def _base_name(base: "str | Objective") -> str:
+    return base if isinstance(base, str) else base.name
+
+
+@dataclass(frozen=True)
+class RobustObjective:
+    """Base class: a per-scenario objective plus a reduction over scenarios.
+
+    ``base`` is a metric name (``"time"``/``"energy"``/``"cost"``) or any
+    search :class:`~repro.search.objectives.Objective`; subclasses implement
+    :meth:`reduce`, mapping the ``(n_conditions, n_placements)`` base values
+    to one scalar per placement (lower is better).
+    """
+
+    base: "str | Objective" = "time"
+    label: str = ""
+
+    #: Whether :meth:`reduce` needs the per-scenario minima of the base
+    #: objective over the whole (feasible) space -- triggers the extra
+    #: baseline pass in :func:`search_grid`.
+    requires_baseline = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, str):
+            as_objective(self.base)  # validate early: needs .name and __call__
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self._prefix}-{_base_name(self.base)}"
+
+    _prefix = "robust"
+
+    def values(self, grid: "GridExecutionResult") -> np.ndarray:
+        """Per-scenario base values of one grid chunk, shape ``(s, n)``."""
+        return _base_values(self.base, grid)
+
+    def reduce(
+        self, values: np.ndarray, baselines: np.ndarray | None = None
+    ) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, grid: "GridExecutionResult") -> np.ndarray:
+        """Robust scalar per placement of a *complete* grid (no streaming).
+
+        For :class:`RegretObjective` the per-scenario baselines are taken
+        from the grid itself, i.e. the grid must hold the entire candidate
+        space; :func:`search_grid` handles the streaming case.
+        """
+        values = self.values(grid)
+        baselines = values.min(axis=1) if self.requires_baseline else None
+        return self.reduce(values, baselines)
+
+
+@dataclass(frozen=True)
+class WorstCaseObjective(RobustObjective):
+    """Minimise the worst value the placement attains over the scenarios."""
+
+    _prefix = "worst"
+
+    def reduce(self, values: np.ndarray, baselines: np.ndarray | None = None) -> np.ndarray:
+        return values.max(axis=0)
+
+
+@dataclass(frozen=True)
+class ExpectedValueObjective(RobustObjective):
+    """Minimise the scenario-weighted expectation of the base objective.
+
+    ``weights`` (one non-negative weight per scenario, not necessarily
+    normalised) defaults to the scenario weights of the grid being searched,
+    or uniform when constructed directly over a bare values matrix.
+    """
+
+    weights: tuple[float, ...] | None = None
+
+    _prefix = "expected"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.weights is not None:
+            weights = tuple(float(w) for w in self.weights)
+            if any(w < 0 for w in weights):
+                raise ValueError("scenario weights must be non-negative")
+            if sum(weights) <= 0:
+                raise ValueError("at least one scenario weight must be positive")
+            object.__setattr__(self, "weights", weights)
+
+    def with_weights(self, weights: Sequence[float]) -> "ExpectedValueObjective":
+        """Copy with explicit weights (the driver binds grid weights here)."""
+        return ExpectedValueObjective(base=self.base, label=self.label, weights=tuple(weights))
+
+    def reduce(self, values: np.ndarray, baselines: np.ndarray | None = None) -> np.ndarray:
+        if self.weights is None:
+            return values.mean(axis=0)
+        if len(self.weights) != values.shape[0]:
+            raise ValueError(
+                f"expected {values.shape[0]} scenario weights, got {len(self.weights)}"
+            )
+        weights = np.array(self.weights)
+        return weights @ values / weights.sum()
+
+
+@dataclass(frozen=True)
+class RegretObjective(RobustObjective):
+    """Minimise the maximum regret against each scenario's own best placement.
+
+    The regret of placement ``p`` in scenario ``s`` is ``value[s, p] -
+    min_q value[s, q]`` (how much worse than the best the scenario admits);
+    the objective is the maximum over scenarios.  The minima are taken over
+    the feasible placements actually searched, so under :func:`search_grid`
+    the space is streamed twice: one pass to find the per-scenario baselines,
+    one to select.
+    """
+
+    requires_baseline = True
+    _prefix = "regret"
+
+    def reduce(self, values: np.ndarray, baselines: np.ndarray | None = None) -> np.ndarray:
+        if baselines is None:
+            raise ValueError(
+                f"{self.name} needs per-scenario baselines; search the grid via "
+                "search_grid, or call the objective on a grid holding the full space"
+            )
+        baselines = np.asarray(baselines, dtype=float)
+        if baselines.shape != (values.shape[0],):
+            raise ValueError(
+                f"expected {values.shape[0]} baselines, got shape {baselines.shape}"
+            )
+        return (values - baselines[:, None]).max(axis=0)
+
+
+def as_robust_objectives(
+    specs: "Sequence[str | RobustObjective]",
+) -> tuple[RobustObjective, ...]:
+    """Coerce specs (metric names become worst-case) with unique names."""
+    objectives = tuple(
+        WorstCaseObjective(base=spec) if isinstance(spec, str) else spec for spec in specs
+    )
+    for objective in objectives:
+        if not isinstance(objective, RobustObjective):
+            raise TypeError(
+                f"cannot interpret {objective!r} as a robust objective; pass a metric "
+                "name (selected by worst case) or a RobustObjective instance"
+            )
+    names = [objective.name for objective in objectives]
+    if len(set(names)) != len(names):
+        raise ValueError(f"robust objective names must be unique, got {names}")
+    return objectives
+
+
+# ----------------------------------------------------------------------------
+# Result types
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioBest:
+    """Each scenario's individual best feasible placement under one base objective."""
+
+    objective: str
+    scenario_names: tuple[str, ...]
+    indices: np.ndarray
+    values: np.ndarray
+    labels: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.scenario_names)
+
+    def drift(self) -> dict[str, str]:
+        """``scenario -> winning label``, the condition-drift view."""
+        return dict(zip(self.scenario_names, self.labels))
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of one streaming robust sweep over (scenario, placement) pairs."""
+
+    n_tasks: int
+    aliases: tuple[str, ...]
+    scenario_names: tuple[str, ...]
+    n_evaluated: int
+    n_feasible: int
+    top: Mapping[str, TopSelection]
+    scenario_best: Mapping[str, ScenarioBest]
+    #: Per-scenario minima used as regret baselines, keyed by base-objective name.
+    baselines: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "top", MappingProxyType(dict(self.top)))
+        object.__setattr__(self, "scenario_best", MappingProxyType(dict(self.scenario_best)))
+        object.__setattr__(self, "baselines", MappingProxyType(dict(self.baselines)))
+
+    def __reduce__(self):
+        # MappingProxyType cannot be pickled; rebuild through __init__.
+        return (
+            self.__class__,
+            (
+                self.n_tasks,
+                self.aliases,
+                self.scenario_names,
+                self.n_evaluated,
+                self.n_feasible,
+                dict(self.top),
+                dict(self.scenario_best),
+                dict(self.baselines),
+            ),
+        )
+
+    @property
+    def space_size(self) -> int:
+        return space_size(self.n_tasks, len(self.aliases))
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenario_names)
+
+    def best(self, objective: str | None = None) -> str:
+        """Label of the robust top-1 under one objective (the only one if unambiguous)."""
+        if objective is None:
+            if len(self.top) != 1:
+                raise ValueError(
+                    f"result ranks {sorted(self.top)} -- name the objective explicitly"
+                )
+            objective = next(iter(self.top))
+        return self.top[objective].best
+
+    def summary(self) -> str:
+        lines = [
+            f"searched {self.n_evaluated} of {self.space_size} placements under "
+            f"{self.n_scenarios} scenarios ({self.n_feasible} robust-feasible) over "
+            f"{len(self.aliases)} devices x {self.n_tasks} tasks"
+        ]
+        for name, selection in self.top.items():
+            if len(selection):
+                lines.append(
+                    f"  top-{len(selection)} by {name}: best {selection.labels[0]} "
+                    f"({selection.values[0]:.6g})"
+                )
+            else:
+                lines.append(f"  top-K by {name}: no feasible placement")
+        for name, best in self.scenario_best.items():
+            shifts = len(dict.fromkeys(best.labels))
+            lines.append(
+                f"  per-scenario winners by {name}: "
+                f"{' -> '.join(dict.fromkeys(best.labels))} ({shifts} distinct)"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------------
+# Streaming driver
+# ----------------------------------------------------------------------------
+
+def _scenario_platforms(executor: "SimulatedExecutor", scenarios) -> tuple[list, tuple[str, ...], np.ndarray]:
+    """Derive (platforms, names, weights) from a ScenarioGrid / scenario list."""
+    from ..scenarios import Scenario, ScenarioGrid, apply_conditions
+
+    if isinstance(scenarios, ScenarioGrid):
+        entries: Sequence[Scenario] = tuple(scenarios)
+    else:
+        entries = tuple(scenarios)
+        if not entries:
+            raise ValueError("at least one scenario is required")
+        for entry in entries:
+            if not isinstance(entry, Scenario):
+                raise TypeError(
+                    f"expected Scenario instances or a ScenarioGrid, got {entry!r}"
+                )
+    platforms = [apply_conditions(executor.platform, scenario) for scenario in entries]
+    names = tuple(scenario.name for scenario in entries)
+    weights = np.array([scenario.weight for scenario in entries], dtype=float)
+    return platforms, names, weights
+
+
+def _iter_grid_chunks(
+    tables: "GridCostTables", batch_size: int, start: int, stop: int
+) -> "Iterable[tuple[int, GridExecutionResult]]":
+    from ..devices.grid import execute_placements_grid
+
+    cursor = start
+    for matrix in iter_placement_batches(
+        tables.n_tasks, tables.n_devices, batch_size, start=start, stop=stop
+    ):
+        yield cursor, execute_placements_grid(tables, matrix)
+        cursor += matrix.shape[0]
+
+
+def _feasible(
+    grid: "GridExecutionResult", constraints: Sequence[Constraint]
+) -> np.ndarray:
+    """Robust feasibility: a placement must satisfy the constraints in *every* scenario."""
+    if not constraints:
+        return np.ones(len(grid), dtype=bool)
+    mask = np.ones(len(grid), dtype=bool)
+    for batch in grid.batches():
+        mask &= feasible_mask(batch, constraints)
+    return mask
+
+
+def search_grid(
+    executor: "SimulatedExecutor",
+    chain: "TaskChain",
+    scenarios: "ScenarioGrid | Sequence[Scenario]",
+    *,
+    objectives: "Sequence[str | RobustObjective]" = (WorstCaseObjective(),),
+    top_k: int = 10,
+    constraints: Sequence[Constraint] = (),
+    devices: Sequence[str] | None = None,
+    batch_size: int = 16384,
+    start: int = 0,
+    stop: int | None = None,
+) -> GridSearchResult:
+    """Stream a placement range under every scenario and select robust winners.
+
+    Chunks of the placement space are evaluated against the whole condition
+    grid in one vectorized pass each (:func:`execute_placements_grid`); per
+    robust objective a :class:`StreamingTopK` keeps the best ``top_k``
+    placements, and each scenario's individual winner is tracked per base
+    objective so the drift between conditions is part of the result.  Peak
+    memory is one ``(n_scenarios, batch_size)`` chunk plus the O(top_k)
+    selection state.
+
+    Constraints are enforced *robustly*: a placement is feasible only if it
+    satisfies every constraint under every scenario.  Regret objectives need
+    each scenario's best feasible value over the searched range, so their
+    presence adds one extra streaming pass before selection.
+    """
+    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
+    from ..devices.grid import build_grid_tables
+
+    tables = build_grid_tables(chain, platforms, devices)
+    total = space_size(tables.n_tasks, tables.n_devices)
+    if stop is None:
+        stop = total
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"invalid slice [{start}, {stop}) of a space of {total} placements")
+    if start == stop:
+        raise ValueError("cannot search an empty placement range")
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+
+    coerced = as_robust_objectives(objectives)
+    # Bind the grid's scenario weights to expectation objectives left unbound.
+    coerced = tuple(
+        objective.with_weights(grid_weights)
+        if isinstance(objective, ExpectedValueObjective) and objective.weights is None
+        else objective
+        for objective in coerced
+    )
+    # Objectives sharing a base *name* must share the base itself: chunk values
+    # are computed once per base name, so a silent last-wins collision would
+    # rank one objective by another's values.
+    bases: dict[str, "str | Objective"] = {}
+    for objective in coerced:
+        name = _base_name(objective.base)
+        if name in bases and bases[name] != objective.base:
+            raise ValueError(
+                f"robust objectives disagree on the base objective named {name!r}: "
+                f"{bases[name]!r} vs {objective.base!r}"
+            )
+        bases.setdefault(name, objective.base)
+    base_names = list(bases)
+
+    # -- pass 1 (only when regret objectives are present): baselines --------
+    baseline_names = [
+        _base_name(objective.base) for objective in coerced if objective.requires_baseline
+    ]
+    baselines: dict[str, np.ndarray] = {}
+    if baseline_names:
+        minima = {name: np.full(tables.n_scenarios, np.inf) for name in baseline_names}
+        any_feasible = False
+        for _, grid in _iter_grid_chunks(tables, batch_size, start, stop):
+            mask = _feasible(grid, constraints)
+            if not mask.any():
+                continue
+            any_feasible = True
+            for name in baseline_names:
+                values = _base_values(bases[name], grid)[:, mask]
+                np.minimum(minima[name], values.min(axis=1), out=minima[name])
+        if any_feasible:
+            baselines = minima
+
+    # -- selection pass ------------------------------------------------------
+    selectors = {objective.name: StreamingTopK(top_k) for objective in coerced}
+    scenario_best_idx = {
+        name: np.full(tables.n_scenarios, -1, dtype=np.int64) for name in base_names
+    }
+    scenario_best_val = {name: np.full(tables.n_scenarios, np.inf) for name in base_names}
+    n_evaluated = 0
+    n_feasible = 0
+    for chunk_start, grid in _iter_grid_chunks(tables, batch_size, start, stop):
+        n = len(grid)
+        n_evaluated += n
+        mask = _feasible(grid, constraints)
+        feasible_count = int(np.count_nonzero(mask))
+        n_feasible += feasible_count
+        if not feasible_count:
+            continue
+        indices = np.arange(n, dtype=np.int64)[mask] + np.int64(chunk_start)
+        chunk_values = {name: _base_values(bases[name], grid)[:, mask] for name in base_names}
+        for objective in coerced:
+            values = chunk_values[_base_name(objective.base)]
+            reduced = objective.reduce(
+                values, baselines.get(_base_name(objective.base))
+            ) if objective.requires_baseline else objective.reduce(values)
+            selectors[objective.name].update(reduced, indices)
+        for name in base_names:
+            values = chunk_values[name]
+            rows = np.arange(values.shape[0])
+            arg = values.argmin(axis=1)
+            candidate = values[rows, arg]
+            better = candidate < scenario_best_val[name]
+            scenario_best_val[name][better] = candidate[better]
+            scenario_best_idx[name][better] = indices[arg[better]]
+
+    def _labels(indices: np.ndarray) -> tuple[str, ...]:
+        from ..devices.batch import placement_labels
+
+        matrix = indices_to_matrix(indices, tables.n_tasks, tables.n_devices)
+        return tuple(placement_labels(matrix, tables.aliases))
+
+    top: dict[str, TopSelection] = {}
+    for objective in coerced:
+        selector = selectors[objective.name]
+        top[objective.name] = TopSelection(
+            objective=objective.name,
+            indices=selector.indices.copy(),
+            values=selector.values.copy(),
+            labels=_labels(selector.indices),
+        )
+    scenario_best: dict[str, ScenarioBest] = {}
+    if n_feasible:
+        for name in base_names:
+            idx = scenario_best_idx[name]
+            scenario_best[name] = ScenarioBest(
+                objective=name,
+                scenario_names=scenario_names,
+                indices=idx.copy(),
+                values=scenario_best_val[name].copy(),
+                labels=_labels(idx),
+            )
+    return GridSearchResult(
+        n_tasks=tables.n_tasks,
+        aliases=tables.aliases,
+        scenario_names=scenario_names,
+        n_evaluated=n_evaluated,
+        n_feasible=n_feasible,
+        top=top,
+        scenario_best=scenario_best,
+        baselines=baselines,
+    )

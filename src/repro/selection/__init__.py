@@ -3,11 +3,14 @@
 from .decision import Decision, DecisionModel
 from .flops_budget import BudgetedSelection, FlopsBudgetSelector
 from .pareto import DEFAULT_CRITERIA, Criterion, dominates, pareto_front
+from .robust import RobustDecision, RobustDecisionModel
 from .switching import EnergyAwareSwitcher, SwitchingPolicy, SwitchingStep, SwitchingTrace
 
 __all__ = [
     "DecisionModel",
     "Decision",
+    "RobustDecisionModel",
+    "RobustDecision",
     "FlopsBudgetSelector",
     "BudgetedSelection",
     "EnergyAwareSwitcher",

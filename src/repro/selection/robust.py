@@ -1,0 +1,190 @@
+"""Robust algorithm selection across a scenario grid (Section IV under drift).
+
+The :class:`~repro.selection.decision.DecisionModel` trades execution time
+against operating cost for *one* platform; under environment drift the same
+trade-off must hold up across every condition the deployment may encounter.
+:class:`RobustDecisionModel` composes the existing decision model with a
+robustness criterion: the decision objective is evaluated per scenario
+(through ``DecisionModel.batch_objective``, bitwise the same arithmetic as
+single-platform decisions) and collapsed over the condition axis by worst
+case, scenario-weighted expectation, or minimax regret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from ..core.scores import FinalClustering
+from ..core.types import Label
+from ..search.robust import ExpectedValueObjective, RegretObjective, WorstCaseObjective
+from .decision import DecisionModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..devices.grid import GridExecutionResult
+
+__all__ = ["RobustDecisionModel", "RobustDecision"]
+
+_CRITERIA = ("worst_case", "expected", "regret")
+
+
+@dataclass(frozen=True)
+class RobustDecision:
+    """Outcome of a robust decision across a scenario grid."""
+
+    label: Label
+    criterion: str
+    objective: float
+    #: The winner's per-scenario decision-objective values, by scenario name.
+    per_scenario: Mapping[str, float]
+    cluster: int | None
+    relative_score: float | None
+    #: Robust objective values of every candidate (read-only snapshot).
+    objectives: Mapping[Label, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "per_scenario", MappingProxyType(dict(self.per_scenario)))
+        object.__setattr__(self, "objectives", MappingProxyType(dict(self.objectives)))
+
+    def __reduce__(self):
+        # MappingProxyType cannot be pickled; rebuild through __init__.
+        return (
+            self.__class__,
+            (
+                self.label,
+                self.criterion,
+                self.objective,
+                dict(self.per_scenario),
+                self.cluster,
+                self.relative_score,
+                dict(self.objectives),
+            ),
+        )
+
+    def spread(self) -> float:
+        """Best-to-worst spread of the winner's objective across scenarios."""
+        values = list(self.per_scenario.values())
+        return max(values) - min(values)
+
+    def summary(self) -> str:
+        cluster = "" if self.cluster is None else f" (cluster C{self.cluster})"
+        return (
+            f"selected {self.label}{cluster} by {self.criterion} across "
+            f"{len(self.per_scenario)} scenarios: robust objective {self.objective:.4g}, "
+            f"per-scenario spread {self.spread():.4g}"
+        )
+
+
+@dataclass
+class RobustDecisionModel:
+    """Pick the placement whose decision objective stays best under drift.
+
+    Parameters
+    ----------
+    model:
+        The single-platform :class:`DecisionModel` providing the per-scenario
+        objective (``time + cost_weight * operating_cost``, plus the optional
+        cluster-confidence penalty).
+    criterion:
+        ``"worst_case"`` minimises the maximum objective over scenarios;
+        ``"expected"`` the (weighted) mean; ``"regret"`` the maximum gap to
+        each scenario's own best candidate.
+    weights:
+        Scenario weights for ``"expected"`` (defaults to uniform; ignored by
+        the other criteria).
+    """
+
+    model: DecisionModel = field(default_factory=DecisionModel)
+    criterion: str = "worst_case"
+    weights: Sequence[float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.criterion not in _CRITERIA:
+            raise ValueError(
+                f"unknown criterion {self.criterion!r}; choose one of {_CRITERIA}"
+            )
+        if self.weights is not None:
+            # One validation source: the expectation objective owns the rules.
+            self.weights = ExpectedValueObjective(weights=tuple(self.weights)).weights
+
+    # ------------------------------------------------------------------
+    def scenario_objectives(self, grid: "GridExecutionResult") -> np.ndarray:
+        """Decision objective per (scenario, placement), before reduction."""
+        return np.stack([self.model.batch_objective(batch) for batch in grid.batches()], axis=0)
+
+    def reduce(self, values: np.ndarray) -> np.ndarray:
+        """Collapse ``(n_scenarios, n_candidates)`` objectives per the criterion.
+
+        Delegates to the search layer's robust reductions -- one source of the
+        worst-case / expectation / regret semantics.  Regret baselines are the
+        per-scenario minima over the *same* candidate set.
+        """
+        if self.criterion == "worst_case":
+            return WorstCaseObjective().reduce(values)
+        if self.criterion == "expected":
+            return ExpectedValueObjective(weights=self.weights).reduce(values)
+        return RegretObjective().reduce(values, values.min(axis=1))
+
+    # ------------------------------------------------------------------
+    def decide_grid(
+        self,
+        grid: "GridExecutionResult",
+        clustering: FinalClustering | None = None,
+    ) -> RobustDecision:
+        """Pick the robustly best placement of a (materialised) grid.
+
+        Without a clustering every placement of the grid is a candidate.
+        With one, candidates are restricted exactly like
+        :meth:`DecisionModel.decide_from_batch` (honouring
+        ``restrict_to_clusters``) and the model's cluster-confidence penalty
+        is added to the per-scenario objectives before reduction -- scores do
+        not vary with conditions, so the penalty shifts every scenario
+        equally.
+        """
+        labels = grid.labels()
+        values = self.scenario_objectives(grid)
+        cluster: int | None = None
+        relative_score: float | None = None
+        row_of: dict[str, int] = {}
+        for index, label in enumerate(labels):
+            row_of.setdefault(label, index)
+        if clustering is None:
+            candidates: list[Label] = list(dict.fromkeys(labels))
+        else:
+            candidates = self.model._candidates(clustering)
+            missing = [label for label in candidates if str(label) not in row_of]
+            if missing:
+                raise KeyError(f"missing grid placements for algorithms {missing!r}")
+            scores = np.array([clustering.score_of(label) for label in candidates], dtype=float)
+            if not np.all((scores >= 0.0) & (scores <= 1.0)):
+                raise ValueError("relative_score must lie in [0, 1]")
+        rows = np.array([row_of[str(label)] for label in candidates], dtype=np.intp)
+        values = values[:, rows]
+        if clustering is not None and self.model.score_penalty:
+            values = values + self.model.score_penalty * (1.0 - scores)[None, :]
+        robust = self.reduce(values)
+        objectives = {label: float(value) for label, value in zip(candidates, robust)}
+        best = min(objectives, key=lambda label: (objectives[label], str(label)))
+        best_column = candidates.index(best)
+        per_scenario = {
+            name: float(value)
+            for name, value in zip(
+                (platform.name for platform in grid.tables.platforms),
+                values[:, best_column],
+            )
+        }
+        if clustering is not None:
+            cluster = clustering.cluster_of(best)
+            relative_score = clustering.score_of(best)
+        return RobustDecision(
+            label=best,
+            criterion=self.criterion,
+            objective=objectives[best],
+            per_scenario=per_scenario,
+            cluster=cluster,
+            relative_score=relative_score,
+            objectives=objectives,
+        )

@@ -133,6 +133,30 @@ class TestPlatform:
         with pytest.raises(KeyError):
             get_platform("nope")
 
+    def test_unknown_platform_error_lists_available_names(self):
+        with pytest.raises(KeyError, match="available.*cpu-gpu"):
+            get_platform("nope")
+
+    def test_register_platform(self):
+        from repro.devices import PLATFORMS, register_platform
+
+        def tiny() -> Platform:
+            return Platform(devices={"D": xeon_8160_core()}, host="D", name="tiny")
+
+        register_platform("tiny-test", tiny)
+        try:
+            assert get_platform("tiny-test").name == "tiny"
+            # Accidental shadowing is rejected; explicit overwrite works.
+            with pytest.raises(ValueError, match="already registered"):
+                register_platform("tiny-test", tiny)
+            register_platform("tiny-test", tiny, overwrite=True)
+            with pytest.raises(TypeError):
+                register_platform("junk", "not-callable")
+            with pytest.raises(ValueError):
+                register_platform("", tiny)
+        finally:
+            PLATFORMS.pop("tiny-test", None)
+
     def test_three_device_platform(self):
         platform = smartphone_cloud_platform()
         assert set(platform.aliases) == {"D", "A", "N"}

@@ -10,6 +10,7 @@ from repro.experiments import (
     EnergySwitchingConfig,
     Figure1Config,
     Figure2Config,
+    RobustnessConfig,
     Section3Config,
     Table1Config,
     run_experiment,
@@ -26,6 +27,7 @@ class TestRegistry:
             "table1",
             "decision_model",
             "energy_switching",
+            "robustness",
         } <= set(EXPERIMENTS)
 
     def test_unknown_experiment(self):
@@ -171,3 +173,61 @@ class TestEnergySwitching:
         text = result.report()
         assert "Energy-aware switching" in text
         assert "strategy" in text
+
+
+@pytest.fixture(scope="module")
+def robustness_result():
+    # A 5-point sweep (the acceptance minimum) with a lighter clustering load.
+    return run_experiment(
+        "robustness",
+        RobustnessConfig(n_points=5, n_measurements=20, repetitions=30, candidates_per_scenario=3),
+    )
+
+
+class TestRobustness:
+    def test_sweep_covers_every_scenario_point(self, robustness_result):
+        assert len(robustness_result.sweep) == 5
+        ts = [point.t for point in robustness_result.sweep]
+        assert ts == [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert robustness_result.sweep[0].scenario.startswith("link-quality")
+
+    def test_winner_and_class_drift_along_the_degradation(self, robustness_result):
+        # The whole point: the best placement and the fastest performance
+        # class are NOT stable across the wifi -> lte sweep.
+        assert robustness_result.winner_drift() >= 2
+        assert robustness_result.class_drift() >= 2
+        winners = [point.winner for point in robustness_result.sweep]
+        assert winners[0] != winners[-1]
+
+    def test_winner_times_degrade_monotonically(self, robustness_result):
+        times = [point.winner_time_s for point in robustness_result.sweep]
+        assert times == sorted(times)
+
+    def test_robust_selections_cover_the_whole_sweep(self, robustness_result):
+        worst = robustness_result.robust_worst_case
+        regret = robustness_result.robust_regret
+        labels = robustness_result.grid.labels()
+        assert worst.criterion == "worst_case" and regret.criterion == "regret"
+        assert str(worst.label) in labels and str(regret.label) in labels
+        assert len(worst.per_scenario) == 5
+        # The worst-case pick can never be beaten at its own game by the
+        # per-scenario winners' worst cases.
+        times = robustness_result.grid.total_time_s
+        decision_model_values = times + robustness_result.config.cost_weight * (
+            robustness_result.grid.operating_cost
+        )
+        assert worst.objective <= float(decision_model_values.max(axis=0).min()) + 1e-12
+
+    def test_clustered_candidates_are_a_fixed_cross_scenario_set(self, robustness_result):
+        assert len(robustness_result.candidates) >= robustness_result.config.candidates_per_scenario
+        for point in robustness_result.sweep:
+            assert set(point.fastest_class) <= set(robustness_result.candidates)
+            assert point.n_clusters >= 1
+
+    def test_report_shows_the_drift(self, robustness_result):
+        text = robustness_result.report()
+        assert "wifi -> lte" in text
+        assert "winner drift" in text and "performance-class drift" in text
+        assert "worst case" in text and "regret" in text
+        for point in robustness_result.sweep:
+            assert point.scenario in text
