@@ -1,0 +1,101 @@
+"""Placing a branchy (DAG) workload: where chain thinking picks wrong.
+
+The paper models a scientific code as a *linear chain* of loops; real
+offloadable codes fork and join.  This example builds a fork-join code
+(``prep -> {b1..bN} -> join``, heavy independent branches) as a
+:class:`repro.tasks.TaskGraph` and shows, on the 4-device edge cluster:
+
+1. **Planning gain** -- the full placement space evaluated under the DAG
+   model (branches on different devices overlap; same-device tasks
+   serialize) picks a *different* winner than the chain-linearized model,
+   and that winner is strictly faster;
+2. **The whole stack is DAG-aware** -- the streaming search subsystem,
+   constraints and Pareto frontier consume the graph unchanged, and a
+   wifi -> lte scenario sweep runs the robust grid search over it;
+3. **Bitwise safety** -- a linear graph reproduces the chain's numbers
+   exactly, so nothing changes for chain workloads.
+
+Run with::
+
+    python examples/dag_search.py
+    BRANCHES=5 python examples/dag_search.py   # a wider fork
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.devices import SimulatedExecutor, edge_cluster_platform, lte, wifi_ac
+from repro.scenarios import link_degradation_grid
+from repro.search import (
+    DeadlineConstraint,
+    WorstCaseObjective,
+    search_grid,
+    search_space,
+)
+from repro.tasks import TaskGraph, fork_join_graph, table1_chain
+
+
+def main() -> None:
+    branches = int(os.environ.get("BRANCHES", "3"))
+    platform = edge_cluster_platform()
+    graph = fork_join_graph(branches=branches)
+    executor = SimulatedExecutor(platform, seed=0)
+
+    print(f"platform: {platform.name} ({'/'.join(platform.aliases)}, host {platform.host})")
+    print(f"workload: {graph.name}, tasks {' '.join(graph.task_names)}")
+    print(f"levels:   {' | '.join(' '.join(level) for level in graph.levels)}")
+    print(f"space:    {len(platform.aliases)}**{len(graph)} = "
+          f"{len(platform.aliases) ** len(graph)} placements\n")
+
+    # -- 1. DAG-aware vs chain-linearized planning --------------------------
+    dag = executor.execute_batch(graph)
+    chain = executor.execute_batch(graph.linearized_chain())
+    dag_best = dag.argbest("time")
+    chain_best = chain.argbest("time")
+    print("planning the same workload two ways:")
+    print(f"  chain-linearized winner: {chain.label(chain_best)}  "
+          f"(predicted {chain.total_time_s[chain_best] * 1e3:.1f} ms serial, "
+          f"actually {dag.total_time_s[chain_best] * 1e3:.1f} ms under the DAG model)")
+    print(f"  DAG-aware winner:        {dag.label(dag_best)}  "
+          f"({dag.total_time_s[dag_best] * 1e3:.1f} ms)")
+    gain = dag.total_time_s[chain_best] / dag.total_time_s[dag_best]
+    print(f"  planning gain: {gain:.2f}x -- structure awareness alone\n")
+
+    # -- 2. the search stack consumes the graph unchanged -------------------
+    result = search_space(
+        executor,
+        graph,
+        objectives=("time", "energy"),
+        top_k=5,
+        constraints=(DeadlineConstraint(max_time_s=1.0),),
+    )
+    print(result.summary())
+    print()
+
+    radio = [("D", "E"), ("D", "A"), ("N", "E"), ("N", "A"), ("E", "A")]
+    scenarios = link_degradation_grid(radio, start=wifi_ac(), end=lte(), n_points=5)
+    robust = search_grid(
+        executor, graph, scenarios, objectives=(WorstCaseObjective(),), top_k=3
+    )
+    drift = robust.scenario_best["time"].drift()
+    print("winner drift across the wifi -> lte sweep:")
+    for scenario, winner in drift.items():
+        print(f"  {scenario:>24}: {winner}")
+    print(f"robust worst-case pick: {robust.best('worst-time')}\n")
+
+    # -- 3. linear graphs change nothing ------------------------------------
+    chain_workload = table1_chain(loop_size=2)
+    linear = TaskGraph.from_chain(chain_workload)
+    a = SimulatedExecutor(platform, seed=0).execute_batch(chain_workload)
+    b = SimulatedExecutor(platform, seed=0).execute_batch(linear)
+    identical = np.array_equal(a.total_time_s, b.total_time_s) and np.array_equal(
+        a.energy_total_j, b.energy_total_j
+    )
+    print(f"linear TaskGraph reproduces the TaskChain bitwise: {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,9 @@ The package is organised as:
 * :mod:`repro.devices` -- simulated heterogeneous platform (edge devices,
   accelerators, interconnects, energy) plus a host-based executor.
 * :mod:`repro.tasks` -- linear-algebra workloads (GEMM / Regularised Least
-  Squares loops), FLOP accounting, scientific-code task chains.
+  Squares loops), FLOP accounting, scientific-code task chains and DAGs.
 * :mod:`repro.offload` -- the algorithm space induced by splitting a task
-  chain between devices.
+  chain (or graph) between devices.
 * :mod:`repro.scenarios` -- condition-parameterized platforms: environment
   drift (link degradation, load, DVFS, prices) as scenario grids.
 * :mod:`repro.selection` -- decision models for algorithm selection (cost /

@@ -20,10 +20,21 @@ from .catalog import (
     wifi_ac,
     xeon_8160_core,
 )
-from .batch import BatchExecutionResult, ChainCostTables, execute_placements
+from .batch import (
+    BatchExecutionResult,
+    ChainCostTables,
+    GraphCostTables,
+    build_cost_tables,
+    execute_placements,
+)
 from .device import DeviceSpec
 from .energy import EnergyBreakdown
-from .grid import GridCostTables, GridExecutionResult, execute_placements_grid
+from .grid import (
+    GraphGridCostTables,
+    GridCostTables,
+    GridExecutionResult,
+    execute_placements_grid,
+)
 from .host import HostExecutor
 from .link import LinkSpec
 from .platform import Platform
@@ -40,8 +51,11 @@ __all__ = [
     "HostExecutor",
     "BatchExecutionResult",
     "ChainCostTables",
+    "GraphCostTables",
+    "build_cost_tables",
     "execute_placements",
     "GridCostTables",
+    "GraphGridCostTables",
     "GridExecutionResult",
     "execute_placements_grid",
     # catalog

@@ -3,11 +3,14 @@
 The sequential :meth:`~repro.devices.simulator.SimulatedExecutor.execute` walks
 a task chain in a Python loop, once per placement -- fine for the paper's
 ``2**3 = 8`` splits, hopeless for the ``m**k`` spaces its conclusion worries
-about.  This module evaluates *all* placements of a chain at once:
+about.  This module evaluates *all* placements of a workload at once:
 
 * :class:`ChainCostTables` precomputes, per ``(task, device)``, the busy time
   (compute + startup), the host<->device transfer time/energy/bytes, and, per
   ``(device, device)``, the penalty-link costs of the scalar crossing devices;
+* :class:`GraphCostTables` extends the tables with a
+  :class:`~repro.tasks.graph.TaskGraph`'s dependency structure -- same
+  per-entry values, evaluated level by level along the DAG;
 * :func:`execute_placements` takes an ``(n_placements, n_tasks)`` integer
   device-index matrix and computes every scalar field of an
   :class:`~repro.devices.simulator.ExecutionRecord` with array operations.
@@ -17,16 +20,29 @@ sequential loop: per-task quantities come from the same scalar computations
 (the tables), and all accumulations fold left in task order exactly like the
 sequential accumulators (a plain ``np.sum`` would use pairwise summation and
 drift in the last ulp for long chains).
+
+For DAG workloads the timing model changes where the structure demands it:
+a task starts when its slowest predecessor has finished *and* its device is
+free (tasks sharing a device serialize in topological order; parallel
+branches placed on different devices overlap -- the total time is the
+critical path through the schedule), a fan-in join pays one penalty hop per
+incoming edge (summed in canonical edge order), source tasks are fed by the
+host exactly like a chain's first task, and energy/bytes/cost remain plain
+sums over tasks and edges.  On a *linear* graph every one of these rules
+degenerates to the chain rule -- the device-availability term never exceeds
+the predecessor's finish time there -- and the results are bitwise identical
+to the chain engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..tasks.chain import TaskChain
+from ..tasks.graph import TaskGraph
 from .costmodel import (
     PENALTY_MESSAGE_BYTES,
     finalize_execution,
@@ -44,7 +60,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports us)
 
 __all__ = [
     "ChainCostTables",
+    "GraphCostTables",
     "BatchExecutionResult",
+    "build_cost_tables",
     "execute_placements",
     "as_placement_matrix",
     "placement_labels",
@@ -194,6 +212,75 @@ class ChainCostTables:
         return build_grid_tables(chain, platforms, devices)
 
 
+@dataclass(frozen=True)
+class GraphCostTables(ChainCostTables):
+    """Cost tables of a :class:`~repro.tasks.graph.TaskGraph` on a platform.
+
+    The per-(task, device) and per-(device, device) tables are *identical* to
+    :class:`ChainCostTables` built over the graph's tasks in topological
+    order -- what changes is how :func:`execute_placements` traverses them:
+    ``pred_positions`` carries each task's predecessors (by topological
+    position, ascending), sources draw the ``first_penalty`` host feed, and
+    the total time is the critical path instead of the serial sum.
+    """
+
+    #: Per topological position, the topological positions of the task's
+    #: predecessors (ascending; empty = source task fed from the host).
+    pred_positions: tuple[tuple[int, ...], ...] = ()
+
+    @classmethod
+    def build(
+        cls, graph: TaskGraph, platform: Platform, devices: Sequence[str] | None = None
+    ) -> "GraphCostTables":
+        """Precompute the cost tables of a DAG workload on a platform.
+
+        The value tables are built by :meth:`ChainCostTables.build` over the
+        graph's topologically ordered tasks (bitwise the same entries a chain
+        of those tasks would get); the graph contributes only its structure.
+        """
+        base = ChainCostTables.build(
+            TaskChain(graph.tasks, name=graph.name), platform, devices
+        )
+        return as_graph_tables(base, graph.predecessor_positions)
+
+    @classmethod
+    def build_grid(
+        cls,
+        graph: TaskGraph,
+        platforms: "Sequence[Platform]",
+        devices: Sequence[str] | None = None,
+    ) -> "GridCostTables":
+        """Condition-stacked graph tables over several scenario platforms.
+
+        The graph analogue of :meth:`ChainCostTables.build_grid`: returns a
+        :class:`~repro.devices.grid.GraphGridCostTables` whose per-scenario
+        slices are :class:`GraphCostTables`, each bitwise identical to
+        :meth:`build` on that platform.
+        """
+        from .grid import build_grid_tables
+
+        return build_grid_tables(graph, platforms, devices)
+
+
+def as_graph_tables(
+    base: ChainCostTables, pred_positions: tuple[tuple[int, ...], ...]
+) -> GraphCostTables:
+    """Attach DAG structure to already-built chain tables (shared with the grid)."""
+    values = {f.name: getattr(base, f.name) for f in fields(ChainCostTables)}
+    return GraphCostTables(**values, pred_positions=pred_positions)
+
+
+def build_cost_tables(
+    workload: TaskChain | TaskGraph,
+    platform: Platform,
+    devices: Sequence[str] | None = None,
+) -> ChainCostTables:
+    """Build the cost tables matching the workload type (chain or graph)."""
+    if isinstance(workload, TaskGraph):
+        return GraphCostTables.build(workload, platform, devices)
+    return ChainCostTables.build(workload, platform, devices)
+
+
 def as_placement_matrix(
     placements: np.ndarray | Iterable[Sequence[str] | str],
     aliases: Sequence[str],
@@ -340,8 +427,11 @@ class BatchExecutionResult:
 
         Replays the sequential accumulation with scalars taken from the cost
         tables, so every field -- including the per-task records -- is bitwise
-        identical to ``SimulatedExecutor.execute`` on the same placement.
+        identical to ``SimulatedExecutor.execute`` (or, for graph tables,
+        ``SimulatedExecutor.execute_graph``) on the same placement.
         """
+        if isinstance(self.tables, GraphCostTables):
+            return _graph_record(self.tables, self.placements[index])
         t = self.tables
         platform = t.platform
         row = self.placements[index]
@@ -408,9 +498,16 @@ def execute_placements(tables: ChainCostTables, placements: np.ndarray) -> Batch
 
     ``placements`` must be an ``(n_placements, n_tasks)`` integer matrix of
     positions into ``tables.aliases`` (see :func:`as_placement_matrix`).
+    :class:`GraphCostTables` route through the DAG engine (critical-path
+    latency, per-edge penalty hops); :class:`ChainCostTables` keep the serial
+    chain fold.  Either way the result is a :class:`BatchExecutionResult`, so
+    every downstream layer (search, selection, scenarios, measurements)
+    consumes graph batches unchanged.
     """
     P = as_placement_matrix(placements, tables.aliases, tables.n_tasks)
     P = P.astype(np.intp, copy=False)  # one cast up front instead of per gather
+    if isinstance(tables, GraphCostTables):
+        return _execute_graph_placements(tables, P)
     n, k = P.shape
     m = tables.n_devices
     task_idx = np.arange(k)
@@ -471,6 +568,22 @@ def execute_placements(tables: ChainCostTables, placements: np.ndarray) -> Batch
             busy_by_device[:, d] += busy_pt[:, t] * mask
             flops_by_device[:, d] += tables.task_flops[t] * mask
 
+    return _finalize_placements(
+        tables, P, total_time, transferred, transfer_energy, busy_by_device, flops_by_device
+    )
+
+
+def _finalize_placements(
+    tables: ChainCostTables,
+    P: np.ndarray,
+    total_time: np.ndarray,
+    transferred: np.ndarray,
+    transfer_energy: np.ndarray,
+    busy_by_device: np.ndarray,
+    flops_by_device: np.ndarray,
+) -> BatchExecutionResult:
+    """Per-device energy/cost finalization shared by the chain and graph engines."""
+    n = P.shape[0]
     platform = tables.platform
     power_active = np.array([platform.device(a).power_active_w for a in tables.aliases])
     power_idle = np.array([platform.device(a).power_idle_w for a in tables.aliases])
@@ -509,4 +622,199 @@ def execute_placements(tables: ChainCostTables, placements: np.ndarray) -> Batch
         idle_j=idle,
         energy_total_j=energy_total,
         operating_cost=operating_cost,
+    )
+
+
+# ----------------------------------------------------------------------------
+# DAG engine: level-ordered evaluation with critical-path latency
+# ----------------------------------------------------------------------------
+
+def _execute_graph_placements(tables: GraphCostTables, P: np.ndarray) -> BatchExecutionResult:
+    """Evaluate every placement of a DAG workload in one vectorized pass.
+
+    Walks the tasks in topological (level) order with the placement axis
+    vectorized: per task, the incoming penalty hops fold left in canonical
+    edge order, the start time is the max over predecessor finish times and
+    the device's availability (same-device tasks serialize), and the total
+    time is the running max over finish times (the critical path).  Every
+    element undergoes exactly the IEEE-754 operations of the sequential
+    ``SimulatedExecutor.execute_graph`` loop, so results are bitwise equal --
+    and on a linear graph, bitwise equal to the chain engine.
+    """
+    n, k = P.shape
+    m = tables.n_devices
+    task_idx = np.arange(k)
+    preds = tables.pred_positions
+
+    busy_pt = tables.busy[task_idx, P]
+    hostio_time_pt = tables.hostio_time[task_idx, P]
+    hostio_bytes_pt = tables.hostio_bytes[task_idx, P]
+    energy_in_pt = tables.energy_in[task_idx, P]
+    energy_out_pt = tables.energy_out[task_idx, P]
+    pen_time_pt = np.zeros((n, k))
+    pen_energy_pt = np.zeros((n, k))
+    pen_bytes_pt = np.zeros((n, k))
+    for t in range(k):
+        dst = P[:, t]
+        if preds[t]:
+            # Fan-in join: one penalty hop per incoming edge, folded left in
+            # canonical edge order (the join_penalty_cost accumulation).
+            for p in preds[t]:
+                pen_time_pt[:, t] += tables.penalty_time[P[:, p], dst]
+                pen_energy_pt[:, t] += tables.penalty_energy[P[:, p], dst]
+                pen_bytes_pt[:, t] += tables.penalty_bytes[P[:, p], dst]
+        else:
+            # Source task: fed from the host, like a chain's first task.
+            pen_time_pt[:, t] = tables.first_penalty_time[dst]
+            pen_energy_pt[:, t] = tables.first_penalty_energy[dst]
+            pen_bytes_pt[:, t] = tables.first_penalty_bytes[dst]
+    transfer_pt = hostio_time_pt + pen_time_pt
+
+    if tables.missing_links and np.isnan(transfer_pt).any():
+        i, t = (int(v) for v in np.argwhere(np.isnan(transfer_pt))[0])
+        _raise_graph_missing_link(
+            tables.aliases,
+            tables.platform.host,
+            preds[t],
+            P,
+            i,
+            t,
+            bool(np.isnan(hostio_time_pt[i, t])),
+            lambda p: bool(np.isnan(tables.penalty_time[P[i, p], P[i, t]])),
+        )
+
+    total_time = np.zeros(n)
+    finish = np.zeros((n, k))
+    available = np.zeros((n, m))
+    rows = np.arange(n)
+    transferred = np.zeros(n)
+    transfer_energy = np.zeros(n)
+    busy_by_device = np.zeros((n, m))
+    flops_by_device = np.zeros((n, m))
+    for t in range(k):
+        ready = np.zeros(n)
+        for p in preds[t]:
+            ready = np.maximum(ready, finish[:, p])
+        # Device serialization: wait for the device's previous task too (a
+        # no-op on linear graphs, where the device never lags the predecessor).
+        start = np.maximum(ready, available[rows, P[:, t]])
+        finish[:, t] = start + (busy_pt[:, t] + transfer_pt[:, t])
+        available[rows, P[:, t]] = finish[:, t]
+        total_time = np.maximum(total_time, finish[:, t])
+        transferred += hostio_bytes_pt[:, t] + pen_bytes_pt[:, t]
+        transfer_energy += energy_in_pt[:, t]
+        transfer_energy += energy_out_pt[:, t]
+        transfer_energy += pen_energy_pt[:, t]
+        col = P[:, t]
+        for d in range(m):
+            mask = col == d
+            busy_by_device[:, d] += busy_pt[:, t] * mask
+            flops_by_device[:, d] += tables.task_flops[t] * mask
+
+    return _finalize_placements(
+        tables, P, total_time, transferred, transfer_energy, busy_by_device, flops_by_device
+    )
+
+
+def _raise_graph_missing_link(
+    aliases: Sequence[str],
+    host: str,
+    preds: Sequence[int],
+    P: np.ndarray,
+    i: int,
+    t: int,
+    hostio_nan: bool,
+    pen_nan,
+) -> None:
+    """Reject placement ``i`` whose task ``t`` traverses a missing link.
+
+    Shared by the batch and grid DAG engines (which differ only in how they
+    detect a NaN entry): ``hostio_nan`` flags a missing host link at
+    ``(i, t)``, ``pen_nan(p)`` whether the hop from predecessor position
+    ``p`` is missing.  Names the offending device pair like the chain engine.
+    """
+    current = aliases[P[i, t]]
+    a = host
+    if not hostio_nan:
+        for p in preds:
+            if pen_nan(p):
+                a = aliases[P[i, p]]
+                break
+    raise KeyError(
+        f"no link defined between {a!r} and {current!r} "
+        f"(required by placement {placement_labels(P[i : i + 1], aliases)[0]!r})"
+    )
+
+
+def _graph_record(tables: GraphCostTables, row: np.ndarray) -> ExecutionRecord:
+    """Replay ``SimulatedExecutor.execute_graph`` with scalars from the tables.
+
+    The graph analogue of :meth:`BatchExecutionResult.record`: identical fold
+    orders (edge-ordered penalty sums, max-over-predecessors ready times), so
+    every field is bitwise identical to the sequential graph executor.
+    """
+    platform = tables.platform
+    aliases_row = tuple(tables.aliases[d] for d in row)
+
+    task_records: list[TaskExecutionRecord] = []
+    busy: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+    flops: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+    transferred = 0.0
+    transfer_energy = 0.0
+    total_time = 0.0
+    finish: list[float] = []
+    available: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+    for pos, (task_name, d) in enumerate(zip(tables.task_names, row)):
+        alias = tables.aliases[d]
+        preds = tables.pred_positions[pos]
+        if preds:
+            pen_time = 0.0
+            pen_energy = 0.0
+            pen_bytes = 0.0
+            for p in preds:
+                pen_time += float(tables.penalty_time[row[p], d])
+                pen_energy += float(tables.penalty_energy[row[p], d])
+                pen_bytes += float(tables.penalty_bytes[row[p], d])
+        else:
+            pen_time = float(tables.first_penalty_time[d])
+            pen_energy = float(tables.first_penalty_energy[d])
+            pen_bytes = float(tables.first_penalty_bytes[d])
+        ready = 0.0
+        for p in preds:
+            ready = max(ready, finish[p])
+        start = max(ready, available[alias])
+        busy_time = float(tables.busy[pos, d])
+        transfer_time = float(tables.hostio_time[pos, d]) + pen_time
+        task_bytes = float(tables.hostio_bytes[pos, d]) + pen_bytes
+        transfer_energy += float(tables.energy_in[pos, d])
+        transfer_energy += float(tables.energy_out[pos, d])
+        transfer_energy += pen_energy
+        busy[alias] += busy_time
+        flops[alias] += float(tables.task_flops[pos])
+        transferred += task_bytes
+        end = start + (busy_time + transfer_time)
+        finish.append(end)
+        available[alias] = end
+        total_time = max(total_time, end)
+        task_records.append(
+            TaskExecutionRecord(
+                task_name=task_name,
+                device=alias,
+                busy_time_s=busy_time,
+                transfer_time_s=transfer_time,
+                transferred_bytes=task_bytes,
+                flops=float(tables.task_flops[pos]),
+            )
+        )
+
+    energy, cost_total = finalize_execution(platform, busy, total_time, transfer_energy)
+    return ExecutionRecord(
+        placement=aliases_row,
+        tasks=tuple(task_records),
+        total_time_s=total_time,
+        busy_time_by_device=busy,
+        flops_by_device=flops,
+        transferred_bytes=transferred,
+        energy=energy,
+        operating_cost=cost_total,
     )

@@ -13,10 +13,15 @@ for the batch engine.  This module owns the math once, in three tiers:
   operation is the same IEEE-754 expression, applied elementwise).  This is
   what lets the scenario-grid table build vectorize across condition points
   without drifting a single ulp from the per-platform scalar build.
-* **per-task helpers** (:func:`task_device_cost`, :func:`penalty_cost`) -- the
-  aggregation shared by the sequential executor and the cost-table build: busy
-  time plus startup overhead, host<->device input/output shipping, and the
-  scalar-penalty hop between consecutive devices.
+* **per-task helpers** (:func:`task_device_cost`, :func:`penalty_cost`,
+  :func:`join_penalty_cost`) -- the aggregation shared by the sequential
+  executors and the cost-table builds: busy time plus startup overhead,
+  host<->device input/output shipping, and the scalar-penalty hop(s) crossing
+  device boundaries.  For DAG workloads the accounting is **per edge**: a
+  fan-in join pays one penalty hop per incoming edge (summed left in edge
+  order by :func:`join_penalty_cost`), while a fan-out producer ships its
+  results back to the host once -- successors read the already-uploaded
+  penalty, they do not repeat the upload.
 * **finalization** (:func:`finalize_execution`) -- the per-device
   active/idle-energy and operating-cost accounting shared by
   ``SimulatedExecutor.execute`` and ``BatchExecutionResult.record``.
@@ -30,7 +35,7 @@ every downstream result stays bitwise unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -48,6 +53,7 @@ __all__ = [
     "PenaltyCost",
     "task_device_cost",
     "penalty_cost",
+    "join_penalty_cost",
     "finalize_execution",
 ]
 
@@ -217,6 +223,31 @@ def penalty_cost(
             raise
         time_s = energy_j = float("nan")
     return PenaltyCost(time_s=time_s, energy_j=energy_j, n_bytes=PENALTY_MESSAGE_BYTES)
+
+
+def join_penalty_cost(
+    platform: "Platform",
+    srcs: "Sequence[str]",
+    dst: str,
+    on_missing_link: str = "raise",
+) -> PenaltyCost:
+    """Summed cost of a fan-in join: one penalty hop per incoming edge.
+
+    Every predecessor's scalar crosses its own direct ``src -> dst`` link;
+    the per-edge costs fold left in the given (canonical edge) order, which is
+    the accumulation the vectorized graph engine reproduces bitwise.  An empty
+    ``srcs`` (a source task) costs nothing -- the host feed is accounted
+    separately, exactly like a chain's first task.
+    """
+    time_s = 0.0
+    energy_j = 0.0
+    n_bytes = 0.0
+    for src in srcs:
+        hop = penalty_cost(platform, src, dst, on_missing_link=on_missing_link)
+        time_s += hop.time_s
+        energy_j += hop.energy_j
+        n_bytes += hop.n_bytes
+    return PenaltyCost(time_s=time_s, energy_j=energy_j, n_bytes=n_bytes)
 
 
 # ----------------------------------------------------------------------------

@@ -23,23 +23,32 @@ many bytes a placement moves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Sequence
 
 import numpy as np
 
 from ..tasks.chain import TaskChain
+from ..tasks.graph import TaskGraph
 from . import costmodel
 from .batch import (
     BatchExecutionResult,
     ChainCostTables,
+    _raise_graph_missing_link,
+    as_graph_tables,
     as_placement_matrix,
     placement_labels,
 )
 from .costmodel import PENALTY_MESSAGE_BYTES
 from .platform import Platform
 
-__all__ = ["GridCostTables", "GridExecutionResult", "build_grid_tables", "execute_placements_grid"]
+__all__ = [
+    "GridCostTables",
+    "GraphGridCostTables",
+    "GridExecutionResult",
+    "build_grid_tables",
+    "execute_placements_grid",
+]
 
 
 def _device_param(platforms: Sequence[Platform], aliases: Sequence[str], field: str) -> np.ndarray:
@@ -125,18 +134,47 @@ class GridCostTables:
         )
 
 
+@dataclass(frozen=True)
+class GraphGridCostTables(GridCostTables):
+    """Condition-stacked cost tables of a :class:`~repro.tasks.graph.TaskGraph`.
+
+    Same value arrays as :class:`GridCostTables` (built over the graph's
+    topologically ordered tasks), plus the dependency structure.  Per-scenario
+    slices are :class:`~repro.devices.batch.GraphCostTables`, so
+    :meth:`GridExecutionResult.batch` views replay graph semantics.
+    """
+
+    #: Per topological position, the predecessors' topological positions.
+    pred_positions: tuple[tuple[int, ...], ...] = ()
+
+    def table(self, index: int) -> ChainCostTables:
+        """The :class:`~repro.devices.batch.GraphCostTables` of one scenario."""
+        return as_graph_tables(super().table(index), self.pred_positions)
+
+
 def build_grid_tables(
-    chain: TaskChain, platforms: Sequence[Platform], devices: Sequence[str] | None = None
+    chain: TaskChain | TaskGraph,
+    platforms: Sequence[Platform],
+    devices: Sequence[str] | None = None,
 ) -> GridCostTables:
-    """Build the condition-stacked cost tables of a chain over scenario platforms.
+    """Build the condition-stacked cost tables of a workload over scenario platforms.
 
     Every platform must share the base platform's *shape*: the same device
     aliases (in the same order), the same host and the same link topology --
     conditions re-parameterize a platform, they do not rewire it.  The tables
     are computed vectorized across the scenario axis through the
     :mod:`~repro.devices.costmodel` formulas, so each scenario's slice is
-    bitwise identical to the scalar per-platform build.
+    bitwise identical to the scalar per-platform build.  A
+    :class:`~repro.tasks.graph.TaskGraph` workload yields
+    :class:`GraphGridCostTables` (same values over the topologically ordered
+    tasks, plus the dependency structure).
     """
+    if isinstance(chain, TaskGraph):
+        base = build_grid_tables(
+            TaskChain(chain.tasks, name=chain.name), platforms, devices
+        )
+        values = {f.name: getattr(base, f.name) for f in fields(GridCostTables)}
+        return GraphGridCostTables(**values, pred_positions=chain.predecessor_positions)
     platforms = tuple(platforms)
     if not platforms:
         raise ValueError("at least one platform is required")
@@ -388,9 +426,13 @@ def execute_placements_grid(tables: GridCostTables, placements: np.ndarray) -> G
     same gathers and left folds with a leading condition axis, so every
     ``(scenario, placement)`` element undergoes the identical sequence of
     IEEE-754 operations as the per-scenario loop -- bitwise equal results.
+    :class:`GraphGridCostTables` route through the DAG traversal (critical
+    path, per-edge joins) with the condition axis vectorized alongside.
     """
     P = as_placement_matrix(placements, tables.aliases, tables.n_tasks)
     P = P.astype(np.intp, copy=False)
+    if isinstance(tables, GraphGridCostTables):
+        return _execute_graph_placements_grid(tables, P)
     n, k = P.shape
     s, m = tables.n_scenarios, tables.n_devices
     task_idx = np.arange(k)
@@ -446,6 +488,22 @@ def execute_placements_grid(tables: GridCostTables, placements: np.ndarray) -> G
             busy_by_device[:, :, d] += busy_pt[:, :, t] * mask
             flops_by_device[:, d] += tables.task_flops[t] * mask
 
+    return _finalize_grid(
+        tables, P, total_time, transferred, transfer_energy, busy_by_device, flops_by_device
+    )
+
+
+def _finalize_grid(
+    tables: GridCostTables,
+    P: np.ndarray,
+    total_time: np.ndarray,
+    transferred: np.ndarray,
+    transfer_energy: np.ndarray,
+    busy_by_device: np.ndarray,
+    flops_by_device: np.ndarray,
+) -> GridExecutionResult:
+    """Per-device energy/cost finalization shared by the chain and graph grid engines."""
+    s, n = total_time.shape
     active = busy_by_device * tables.power_active[:, None, :]
     idle = np.maximum(total_time[:, :, None] - busy_by_device, 0.0) * tables.power_idle[:, None, :]
 
@@ -481,4 +539,88 @@ def execute_placements_grid(tables: GridCostTables, placements: np.ndarray) -> G
         idle_j=idle,
         energy_total_j=energy_total,
         operating_cost=operating_cost,
+    )
+
+
+def _execute_graph_placements_grid(
+    tables: GraphGridCostTables, P: np.ndarray
+) -> GridExecutionResult:
+    """Evaluate a DAG placement matrix under every condition in one pass.
+
+    The grid analogue of the batch DAG engine: the same edge-ordered penalty
+    folds, max-over-predecessors ready times and running-max critical path,
+    with a leading condition axis -- every ``(scenario, placement)`` element
+    is bitwise identical to ``execute_placements`` on the scenario's
+    :class:`~repro.devices.batch.GraphCostTables`.
+    """
+    n, k = P.shape
+    s, m = tables.n_scenarios, tables.n_devices
+    task_idx = np.arange(k)
+    preds = tables.pred_positions
+
+    busy_pt = tables.busy[:, task_idx, P]  # (s, n, k)
+    hostio_time_pt = tables.hostio_time[:, task_idx, P]
+    hostio_bytes_pt = tables.hostio_bytes[task_idx, P]  # (n, k)
+    energy_in_pt = tables.energy_in[:, task_idx, P]
+    energy_out_pt = tables.energy_out[:, task_idx, P]
+    pen_time_pt = np.zeros((s, n, k))
+    pen_energy_pt = np.zeros((s, n, k))
+    pen_bytes_pt = np.zeros((n, k))
+    for t in range(k):
+        dst = P[:, t]
+        if preds[t]:
+            for p in preds[t]:
+                pen_time_pt[:, :, t] += tables.penalty_time[:, P[:, p], dst]
+                pen_energy_pt[:, :, t] += tables.penalty_energy[:, P[:, p], dst]
+                pen_bytes_pt[:, t] += tables.penalty_bytes[P[:, p], dst]
+        else:
+            pen_time_pt[:, :, t] = tables.first_penalty_time[:, dst]
+            pen_energy_pt[:, :, t] = tables.first_penalty_energy[:, dst]
+            pen_bytes_pt[:, t] = tables.first_penalty_bytes[dst]
+    transfer_pt = hostio_time_pt + pen_time_pt
+
+    if tables.missing_links and np.isnan(transfer_pt).any():
+        # Same rejection (and attribution) as the batch DAG engine, detecting
+        # NaNs across the scenario axis.
+        _, i, t = (int(v) for v in np.argwhere(np.isnan(transfer_pt))[0])
+        _raise_graph_missing_link(
+            tables.aliases,
+            tables.host,
+            preds[t],
+            P,
+            i,
+            t,
+            bool(np.isnan(hostio_time_pt[:, i, t]).any()),
+            lambda p: bool(np.isnan(tables.penalty_time[:, P[i, p], P[i, t]]).any()),
+        )
+
+    total_time = np.zeros((s, n))
+    finish = np.zeros((s, n, k))
+    available = np.zeros((s, n, m))
+    rows = np.arange(n)
+    transferred = np.zeros(n)
+    transfer_energy = np.zeros((s, n))
+    busy_by_device = np.zeros((s, n, m))
+    flops_by_device = np.zeros((n, m))
+    for t in range(k):
+        ready = np.zeros((s, n))
+        for p in preds[t]:
+            ready = np.maximum(ready, finish[:, :, p])
+        # Device serialization, vectorized across the condition axis.
+        start = np.maximum(ready, available[:, rows, P[:, t]])
+        finish[:, :, t] = start + (busy_pt[:, :, t] + transfer_pt[:, :, t])
+        available[:, rows, P[:, t]] = finish[:, :, t]
+        total_time = np.maximum(total_time, finish[:, :, t])
+        transferred += hostio_bytes_pt[:, t] + pen_bytes_pt[:, t]
+        transfer_energy += energy_in_pt[:, :, t]
+        transfer_energy += energy_out_pt[:, :, t]
+        transfer_energy += pen_energy_pt[:, :, t]
+        col = P[:, t]
+        for d in range(m):
+            mask = col == d
+            busy_by_device[:, :, d] += busy_pt[:, :, t] * mask
+            flops_by_device[:, d] += tables.task_flops[t] * mask
+
+    return _finalize_grid(
+        tables, P, total_time, transferred, transfer_energy, busy_by_device, flops_by_device
     )

@@ -20,6 +20,16 @@ The timing model per task:
 Tasks are data-dependent (each consumes the previous task's penalty), so the
 total time is simply the sum over tasks -- there is no overlap to exploit,
 exactly as in Procedure 5 of the paper.
+
+For DAG workloads (:class:`~repro.tasks.graph.TaskGraph`),
+:meth:`SimulatedExecutor.execute_graph` generalizes the model: a task starts
+once its slowest predecessor finished *and* its device is free (tasks sharing
+a device serialize in topological order; parallel branches on different
+devices overlap, so the total time is the critical path through the schedule),
+fan-in joins pay one penalty hop per incoming edge, and source tasks are fed
+from the host like a chain's first task.  On a linear graph every rule
+degenerates to the chain rule and the record is bitwise identical to
+:meth:`SimulatedExecutor.execute`.
 """
 
 from __future__ import annotations
@@ -33,9 +43,11 @@ import numpy as np
 from ..measurement.dataset import MeasurementSet
 from ..measurement.noise import NoiseModel, default_system_noise
 from ..tasks.chain import TaskChain
+from ..tasks.graph import TaskGraph
 from .costmodel import (
     PENALTY_MESSAGE_BYTES,
     finalize_execution,
+    join_penalty_cost,
     penalty_cost,
     task_device_cost,
 )
@@ -146,12 +158,21 @@ class SimulatedExecutor:
         self.platform.validate_aliases(aliases)
         return aliases
 
-    def execute(self, chain: TaskChain, placement: Sequence[str] | str) -> ExecutionRecord:
-        """Noise-free execution record of the chain under the given placement.
+    def execute(
+        self, chain: TaskChain | TaskGraph, placement: Sequence[str] | str
+    ) -> ExecutionRecord:
+        """Noise-free execution record of the workload under the given placement.
 
         Records are served from the shared execution cache when enabled, so
         measuring and profiling the same placement executes the chain once.
+        A :class:`TaskGraph` duck-types the chain protocol, but chain
+        semantics would silently serialize it (and poison the shared record
+        cache); graphs route to :meth:`execute_graph` instead, which also
+        makes :meth:`measure` / :meth:`measure_all` / :meth:`energy_measure`
+        graph-aware.
         """
+        if isinstance(chain, TaskGraph):
+            return self.execute_graph(chain, placement)
         aliases = self._normalise_placement(chain, placement)
         if not self.cache_executions:
             return self._execute_uncached(chain, aliases)
@@ -225,10 +246,127 @@ class SimulatedExecutor:
             operating_cost=cost_total,
         )
 
+    # -- DAG workloads --------------------------------------------------
+    def _normalise_graph_placement(
+        self, graph: TaskGraph, placement: Sequence[str] | str | Mapping[str, str]
+    ) -> tuple[str, ...]:
+        if isinstance(placement, Mapping):
+            aliases = graph.placement_for(placement)
+        else:
+            aliases = tuple(placement)
+        if len(aliases) != len(graph):
+            raise ValueError(
+                f"placement {aliases!r} has {len(aliases)} entries but the graph has "
+                f"{len(graph)} tasks (topological order: {graph.task_names})"
+            )
+        self.platform.validate_aliases(aliases)
+        return aliases
+
+    def execute_graph(
+        self, graph: TaskGraph, placement: Sequence[str] | str | Mapping[str, str]
+    ) -> ExecutionRecord:
+        """Noise-free execution record of a DAG workload under one placement.
+
+        ``placement`` aligns with the graph's topological order (an alias
+        sequence or label string), or maps task names to aliases.  The
+        sequential reference implementation of the DAG model: critical-path
+        latency (a task starts when its slowest predecessor finished and its
+        device is free -- same-device tasks serialize in topological order),
+        per-edge penalty hops summed at fan-in joins, host feed for source
+        tasks, and the chain's per-task busy/host-I/O accounting unchanged.
+        Bitwise identical to :meth:`execute` on linear graphs, and the ground
+        truth the vectorized graph engine is pinned against.
+        """
+        aliases = self._normalise_graph_placement(graph, placement)
+        if not self.cache_executions:
+            return self._execute_graph_uncached(graph, aliases)
+        per_graph = self._record_cache.get(graph)
+        if per_graph is None:
+            per_graph = {}
+            self._record_cache[graph] = per_graph
+        record = per_graph.get(aliases)
+        if record is None:
+            record = self._execute_graph_uncached(graph, aliases)
+            if len(per_graph) < self.execution_cache_size:
+                per_graph[aliases] = record
+        return record
+
+    def _execute_graph_uncached(self, graph: TaskGraph, aliases: tuple[str, ...]) -> ExecutionRecord:
+        host = self.platform.host
+
+        task_records: list[TaskExecutionRecord] = []
+        busy: dict[str, float] = {alias: 0.0 for alias in self.platform.devices}
+        flops: dict[str, float] = {alias: 0.0 for alias in self.platform.devices}
+        transferred = 0.0
+        transfer_energy = 0.0
+        total_time = 0.0
+        finish: list[float] = []
+        available: dict[str, float] = {alias: 0.0 for alias in self.platform.devices}
+
+        for pos, (task, alias) in enumerate(zip(graph, aliases)):
+            cost = task.cost()
+            device_cost = task_device_cost(self.platform, cost, alias)
+            preds = graph.predecessor_positions[pos]
+            if preds:
+                # Fan-in join: one penalty hop per incoming edge, folded in
+                # canonical edge order.
+                hop = join_penalty_cost(
+                    self.platform, [aliases[p] for p in preds], alias
+                )
+            else:
+                # Source task: inputs originate on the host, like a chain's
+                # first task.
+                hop = penalty_cost(self.platform, host, alias)
+            ready = 0.0
+            for p in preds:
+                ready = max(ready, finish[p])
+            # Device serialization: the task also waits until the previous
+            # task scheduled on its device finished.  In a linear graph the
+            # device never lags behind the predecessor, so this never moves
+            # the chain result.
+            start = max(ready, available[alias])
+
+            busy_time = device_cost.busy_s
+            transfer_time = device_cost.hostio_time_s + hop.time_s
+            task_bytes = device_cost.hostio_bytes + hop.n_bytes
+            transfer_energy += device_cost.energy_in_j
+            transfer_energy += device_cost.energy_out_j
+            transfer_energy += hop.energy_j
+
+            busy[alias] += busy_time
+            flops[alias] += cost.flops
+            transferred += task_bytes
+            end = start + (busy_time + transfer_time)
+            finish.append(end)
+            available[alias] = end
+            total_time = max(total_time, end)
+            task_records.append(
+                TaskExecutionRecord(
+                    task_name=task.name,
+                    device=alias,
+                    busy_time_s=busy_time,
+                    transfer_time_s=transfer_time,
+                    transferred_bytes=task_bytes,
+                    flops=cost.flops,
+                )
+            )
+
+        energy, cost_total = finalize_execution(self.platform, busy, total_time, transfer_energy)
+        return ExecutionRecord(
+            placement=aliases,
+            tasks=tuple(task_records),
+            total_time_s=total_time,
+            busy_time_by_device=busy,
+            flops_by_device=flops,
+            transferred_bytes=transferred,
+            energy=energy,
+            operating_cost=cost_total,
+        )
+
     # ------------------------------------------------------------------
     def measure(
         self,
-        chain: TaskChain,
+        chain: TaskChain | TaskGraph,
         placement: Sequence[str] | str,
         repetitions: int = 30,
     ) -> np.ndarray:
@@ -240,7 +378,7 @@ class SimulatedExecutor:
 
     def measure_all(
         self,
-        chain: TaskChain,
+        chain: TaskChain | TaskGraph,
         placements: Iterable[Sequence[str] | str],
         repetitions: int = 30,
     ) -> MeasurementSet:
@@ -253,7 +391,7 @@ class SimulatedExecutor:
 
     def energy_measure(
         self,
-        chain: TaskChain,
+        chain: TaskChain | TaskGraph,
         placement: Sequence[str] | str,
         repetitions: int = 30,
     ) -> np.ndarray:
@@ -265,10 +403,15 @@ class SimulatedExecutor:
 
     # -- batch engine ---------------------------------------------------
     def cost_tables(
-        self, chain: TaskChain, devices: Sequence[str] | None = None
+        self, chain: TaskChain | TaskGraph, devices: Sequence[str] | None = None
     ) -> "ChainCostTables":
-        """Precomputed (cached) cost tables of a chain on this platform."""
-        from .batch import ChainCostTables
+        """Precomputed (cached) cost tables of a workload on this platform.
+
+        ``chain`` may be a :class:`TaskChain` or a :class:`TaskGraph`; graphs
+        yield :class:`~repro.devices.batch.GraphCostTables`, which every batch
+        entry point below routes through the DAG engine automatically.
+        """
+        from .batch import build_cost_tables
 
         key = tuple(devices) if devices is not None else tuple(self.platform.aliases)
         per_chain = self._tables_cache.get(chain)
@@ -277,23 +420,24 @@ class SimulatedExecutor:
             self._tables_cache[chain] = per_chain
         tables = per_chain.get(key)
         if tables is None:
-            tables = ChainCostTables.build(chain, self.platform, key)
+            tables = build_cost_tables(chain, self.platform, key)
             per_chain[key] = tables
         return tables
 
     def execute_batch(
         self,
-        chain: TaskChain,
+        chain: TaskChain | TaskGraph,
         placements: np.ndarray | Iterable[Sequence[str] | str] | None = None,
         devices: Sequence[str] | None = None,
     ) -> "BatchExecutionResult":
-        """Evaluate many placements of one chain in a single vectorized pass.
+        """Evaluate many placements of one workload in a single vectorized pass.
 
         ``placements`` is an ``(n_placements, n_tasks)`` device-index matrix
         (see :func:`repro.offload.space.placement_matrix`), any iterable of
         placements in the spellings :meth:`execute` accepts, or ``None`` for
         the full ``m**k`` space in lexicographic order.  Every array field of
-        the result is bitwise identical to the sequential :meth:`execute`.
+        the result is bitwise identical to the sequential :meth:`execute`
+        (:meth:`execute_graph` for :class:`TaskGraph` workloads).
         """
         from .batch import execute_placements
 
@@ -301,12 +445,12 @@ class SimulatedExecutor:
         if placements is None:
             from ..offload.space import placement_matrix
 
-            placements = placement_matrix(len(chain), len(tables.aliases))
+            placements = placement_matrix(tables.n_tasks, len(tables.aliases))
         return execute_placements(tables, placements)
 
     def iter_execute_batches(
         self,
-        chain: TaskChain,
+        chain: TaskChain | TaskGraph,
         devices: Sequence[str] | None = None,
         batch_size: int = 65536,
         start: int = 0,
@@ -319,14 +463,14 @@ class SimulatedExecutor:
         scanned incrementally.  ``start``/``stop`` (defaulting to the whole
         ``m**k`` space) select the half-open placement-index range to stream,
         which is how :func:`repro.search.search_space` shards one sweep across
-        worker processes.
+        worker processes.  Works for chains and graphs alike.
         """
         from .batch import execute_placements
         from ..offload.space import iter_placement_batches
 
         tables = self.cost_tables(chain, devices)
         for matrix in iter_placement_batches(
-            len(chain), len(tables.aliases), batch_size, start=start, stop=stop
+            tables.n_tasks, len(tables.aliases), batch_size, start=start, stop=stop
         ):
             yield execute_placements(tables, matrix)
 
@@ -366,7 +510,7 @@ class SimulatedExecutor:
 
     def measure_all_batch(
         self,
-        chain: TaskChain,
+        chain: TaskChain | TaskGraph,
         placements: np.ndarray | Iterable[Sequence[str] | str] | None = None,
         repetitions: int = 30,
         metric: str = "time",

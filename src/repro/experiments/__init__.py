@@ -9,6 +9,7 @@ Experiment ids (see DESIGN.md, per-experiment index):
 * ``decision_model``   -- the cost/speed trade-off numbers of Section IV.
 * ``energy_switching`` -- the DDD <-> DAA duty-cycle scenario of Section IV.
 * ``robustness``       -- winner/performance-class drift along a wifi -> lte sweep.
+* ``forkjoin``         -- DAG-aware vs chain-linearized placement of a fork-join code.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from . import (
     energy_switching,
     figure1,
     figure2,
+    forkjoin,
     robustness,
     section3_scores,
     table1,
@@ -29,6 +31,7 @@ from .decision_model import DecisionModelConfig, DecisionModelResult
 from .energy_switching import EnergySwitchingConfig, EnergySwitchingResult
 from .figure1 import Figure1Config, Figure1Result
 from .figure2 import Figure2Config, Figure2Result, paper_oracle
+from .forkjoin import ForkJoinConfig, ForkJoinResult
 from .robustness import RobustnessConfig, RobustnessResult
 from .section3_scores import Section3Config, Section3Result
 from .table1 import PAPER_TABLE1, Table1Config, Table1Result
@@ -53,6 +56,8 @@ __all__ = [
     "EnergySwitchingResult",
     "RobustnessConfig",
     "RobustnessResult",
+    "ForkJoinConfig",
+    "ForkJoinResult",
 ]
 
 #: Registry: experiment id -> runner callable (each accepts an optional config object).
@@ -64,6 +69,7 @@ EXPERIMENTS: Mapping[str, Callable[..., Any]] = {
     "decision_model": decision_model.run,
     "energy_switching": energy_switching.run,
     "robustness": robustness.run,
+    "forkjoin": forkjoin.run,
 }
 
 

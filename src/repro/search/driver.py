@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..devices.platform import Platform
     from ..devices.simulator import SimulatedExecutor
     from ..tasks.chain import TaskChain
+    from ..tasks.graph import TaskGraph
 
 __all__ = ["SpaceSearch", "SearchResult", "TopSelection", "FrontierSelection", "search_space"]
 
@@ -315,7 +316,7 @@ def _shard_ranges(start: int, stop: int, n_shards: int) -> list[tuple[int, int]]
 
 def _run_shard(
     platform: "Platform",
-    chain: "TaskChain",
+    chain: "TaskChain | TaskGraph",
     devices: Sequence[str] | None,
     objectives: Sequence[Objective],
     top_k: int,
@@ -326,10 +327,10 @@ def _run_shard(
     batch_size: int,
 ) -> SpaceSearch:
     """Sweep one contiguous placement range (runs inside a worker process)."""
-    from ..devices.batch import ChainCostTables, execute_placements
+    from ..devices.batch import build_cost_tables, execute_placements
     from ..offload.space import iter_placement_batches
 
-    tables = ChainCostTables.build(chain, platform, devices)
+    tables = build_cost_tables(chain, platform, devices)
     search = SpaceSearch(
         objectives=objectives, top_k=top_k, frontier=frontier, constraints=constraints
     )
@@ -345,7 +346,7 @@ def _run_shard(
 
 def search_space(
     executor: "SimulatedExecutor",
-    chain: "TaskChain",
+    chain: "TaskChain | TaskGraph",
     *,
     objectives: Sequence[str | Objective] = ("time",),
     top_k: int = 10,
@@ -363,7 +364,10 @@ def search_space(
     :class:`SpaceSearch`: per-placement memory never exceeds one
     ``batch_size`` chunk plus the O(top_k + frontier) selection state, so the
     full ``m**k`` space of the paper's combinatorial-explosion regime can be
-    searched without materialising profiles.  With ``n_workers > 1`` the index
+    searched without materialising profiles.  ``chain`` may be a
+    :class:`~repro.tasks.chain.TaskChain` or a
+    :class:`~repro.tasks.graph.TaskGraph` -- graph workloads stream through
+    the DAG engine with nothing else changing.  With ``n_workers > 1`` the index
     range is sharded into contiguous sub-ranges swept by worker processes
     whose accumulators merge associatively -- the result is identical to the
     serial sweep, independent of worker count and chunking.

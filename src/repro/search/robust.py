@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..devices.simulator import SimulatedExecutor
     from ..scenarios import Scenario, ScenarioGrid
     from ..tasks.chain import TaskChain
+    from ..tasks.graph import TaskGraph
 
 __all__ = [
     "RobustObjective",
@@ -362,7 +363,7 @@ def _feasible(
 
 def search_grid(
     executor: "SimulatedExecutor",
-    chain: "TaskChain",
+    chain: "TaskChain | TaskGraph",
     scenarios: "ScenarioGrid | Sequence[Scenario]",
     *,
     objectives: "Sequence[str | RobustObjective]" = (WorstCaseObjective(),),

@@ -1,6 +1,7 @@
-"""Linear-algebra task substrate: MathTasks, task chains, FLOP accounting, workloads."""
+"""Linear-algebra task substrate: MathTasks, task chains/graphs, FLOP accounting, workloads."""
 
 from .chain import TaskChain
+from .graph import TaskGraph
 from .flops import (
     cholesky_flops,
     frobenius_norm_flops,
@@ -18,6 +19,7 @@ from .task import FLOAT64_BYTES, MathTask, TaskCost
 from .workloads import (
     WORKLOADS,
     figure1_chain,
+    fork_join_graph,
     get_workload,
     multiscale_chain,
     object_detection_chain,
@@ -28,6 +30,7 @@ __all__ = [
     "MathTask",
     "TaskCost",
     "TaskChain",
+    "TaskGraph",
     "GemmLoopTask",
     "RegularizedLeastSquaresTask",
     "FLOAT64_BYTES",
@@ -44,6 +47,7 @@ __all__ = [
     "table1_chain",
     "multiscale_chain",
     "object_detection_chain",
+    "fork_join_graph",
     "WORKLOADS",
     "get_workload",
 ]

@@ -84,7 +84,9 @@ class TaskChain:
         wanted = list(names)
         unknown = set(wanted) - set(self.task_names)
         if unknown:
-            raise KeyError(f"unknown tasks {sorted(unknown)}")
+            raise KeyError(
+                f"unknown tasks {sorted(unknown)}; available: {self.task_names}"
+            )
         picked = [task for task in self.tasks if task.name in wanted]
         return TaskChain(picked, name=f"{self.name}[{','.join(wanted)}]")
 

@@ -1,0 +1,283 @@
+"""Scientific code as a DAG of dependent MathTasks: the general workload model.
+
+The paper's Procedure 5 models a scientific code as a *linear chain* of loops,
+each consuming the scalar penalty of the previous one.  Real offloadable codes
+branch and join: a preparation stage fans out into independent refinement
+branches whose results are reduced again.  A :class:`TaskGraph` generalizes
+:class:`~repro.tasks.chain.TaskChain` to an arbitrary directed acyclic graph:
+
+* **nodes** are :class:`~repro.tasks.task.MathTask` objects (unique names);
+* **edges** are data dependencies: ``(src, dst)`` means ``dst`` consumes the
+  scalar penalty produced by ``src``.  A task with several incoming edges
+  (fan-in join) consumes the *sum* of its predecessors' penalties; a task with
+  several outgoing edges (fan-out) produces its penalty once and every
+  successor reads it.
+
+The graph is validated to be acyclic at construction and exposes a
+**deterministic** topological order: tasks are grouped into longest-path
+levels (a task's level is one more than the deepest of its predecessors) and
+sorted by name within each level.  The order therefore depends only on the
+``(names, edges)`` structure -- permuting the insertion order of the tasks
+changes nothing downstream, which is what lets every placement-space layer
+index tasks by topological position.
+
+A linear graph (every level holds one task, consecutive levels connected) is
+exactly a :class:`TaskChain`: :meth:`TaskGraph.from_chain` embeds a chain, and
+the devices layer reproduces the chain's results bitwise on such graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .chain import TaskChain
+from .task import MathTask, TaskCost
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """A directed acyclic graph of :class:`MathTask` objects.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks (the nodes).  Names must be unique; insertion order is
+        irrelevant -- tasks are canonically reordered topologically.
+    edges:
+        Data dependencies as ``(src_name, dst_name)`` pairs.  Self-edges,
+        duplicate edges, unknown names and cycles are rejected.
+    name:
+        Name of the scientific code (used in reports).
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[MathTask],
+        edges: Iterable[tuple[str, str]] = (),
+        name: str = "scientific-code",
+    ) -> None:
+        task_list = list(tasks)
+        if not task_list:
+            raise ValueError("a task graph needs at least one task")
+        names = [task.name for task in task_list]
+        if len(set(names)) != len(names):
+            raise ValueError(f"task names must be unique, got {names}")
+        by_name = {task.name: task for task in task_list}
+
+        edge_list: list[tuple[str, str]] = []
+        seen_edges: set[tuple[str, str]] = set()
+        for src, dst in edges:
+            if src not in by_name or dst not in by_name:
+                unknown = sorted({src, dst} - set(by_name))
+                raise KeyError(f"edge ({src!r}, {dst!r}) references unknown tasks {unknown}")
+            if src == dst:
+                raise ValueError(f"self-dependency {src!r} -> {dst!r} is not allowed")
+            if (src, dst) in seen_edges:
+                raise ValueError(f"duplicate edge ({src!r}, {dst!r})")
+            seen_edges.add((src, dst))
+            edge_list.append((src, dst))
+
+        preds_by_name: dict[str, list[str]] = {n: [] for n in by_name}
+        succs_by_name: dict[str, list[str]] = {n: [] for n in by_name}
+        for src, dst in edge_list:
+            preds_by_name[dst].append(src)
+            succs_by_name[src].append(dst)
+
+        # Longest-path leveling (Kahn by levels): level(t) = 1 + max(level of
+        # predecessors).  Within a level tasks are sorted by name, so the
+        # resulting order is a pure function of (names, edges) -- independent
+        # of insertion order.
+        level_of: dict[str, int] = {}
+        remaining = set(by_name)
+        levels: list[tuple[str, ...]] = []
+        while remaining:
+            ready = sorted(
+                n for n in remaining if all(p in level_of for p in preds_by_name[n])
+            )
+            if not ready:
+                raise ValueError(
+                    f"task graph contains a dependency cycle among {sorted(remaining)}"
+                )
+            for n in ready:
+                level_of[n] = len(levels)
+            levels.append(tuple(ready))
+            remaining -= set(ready)
+
+        order = [n for level in levels for n in level]
+        position = {n: i for i, n in enumerate(order)}
+
+        self.name = name
+        self.tasks: tuple[MathTask, ...] = tuple(by_name[n] for n in order)
+        self.levels: tuple[tuple[str, ...], ...] = tuple(levels)
+        #: Edges in canonical order: grouped by destination (topological
+        #: position), predecessors sorted by topological position.  This is
+        #: the exact fold order of every fan-in accumulation downstream.
+        self.edges: tuple[tuple[str, str], ...] = tuple(
+            (order[p], dst)
+            for dst in order
+            for p in sorted(position[src] for src in preds_by_name[dst])
+        )
+        #: Per topological position, the topological positions of the task's
+        #: predecessors (ascending).  Empty = source task (fed from the host).
+        self.predecessor_positions: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(position[src] for src in preds_by_name[n])) for n in order
+        )
+
+    # -- structure ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[MathTask]:
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> MathTask:
+        return self.tasks[index]
+
+    @property
+    def task_names(self) -> list[str]:
+        """Task names in the canonical topological order."""
+        return [task.name for task in self.tasks]
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        """Names of the tasks feeding ``name``, in topological order."""
+        index = self._position(name)
+        return tuple(self.tasks[p].name for p in self.predecessor_positions[index])
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Names of the tasks consuming ``name``'s penalty, in topological order."""
+        self._position(name)
+        return tuple(dst for src, dst in self.edges if src == name)
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        """Tasks with no predecessors (their inputs originate on the host)."""
+        return tuple(
+            task.name
+            for task, preds in zip(self.tasks, self.predecessor_positions)
+            if not preds
+        )
+
+    @property
+    def sinks(self) -> tuple[str, ...]:
+        """Tasks whose penalty nothing consumes (the code's final results)."""
+        with_successors = {src for src, _ in self.edges}
+        return tuple(task.name for task in self.tasks if task.name not in with_successors)
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the graph is a chain: one task per level, each fed by the previous."""
+        if any(len(level) != 1 for level in self.levels):
+            return False
+        return all(
+            preds == ((i - 1,) if i else ())
+            for i, preds in enumerate(self.predecessor_positions)
+        )
+
+    def _position(self, name: str) -> int:
+        for i, task in enumerate(self.tasks):
+            if task.name == name:
+                return i
+        raise KeyError(f"unknown task {name!r}; available: {self.task_names}")
+
+    # -- chain interop ------------------------------------------------------------
+    @classmethod
+    def from_chain(cls, chain: TaskChain, name: str | None = None) -> "TaskGraph":
+        """The linear graph of a chain: each task feeds the next."""
+        names = chain.task_names
+        return cls(
+            chain.tasks,
+            edges=list(zip(names[:-1], names[1:])),
+            name=chain.name if name is None else name,
+        )
+
+    def to_chain(self) -> TaskChain:
+        """The chain this graph is, when it is linear (raises otherwise)."""
+        if not self.is_linear:
+            raise ValueError(
+                f"graph {self.name!r} is not linear (levels: "
+                f"{[list(level) for level in self.levels]}); use linearized_chain() "
+                f"to serialize it in topological order"
+            )
+        return TaskChain(self.tasks, name=self.name)
+
+    def linearized_chain(self) -> TaskChain:
+        """The chain-model serialization: tasks in topological order, dependencies
+        collapsed to consecutive-task ones.
+
+        This is the workload the chain-only pipeline would have modeled -- the
+        baseline a DAG-aware placement is compared against.
+        """
+        return TaskChain(self.tasks, name=f"{self.name}[linearized]")
+
+    # -- aggregate costs ----------------------------------------------------------
+    def costs(self) -> list[TaskCost]:
+        """Per-task analytic cost profiles, in topological order."""
+        return [task.cost() for task in self.tasks]
+
+    @property
+    def total_flops(self) -> float:
+        """Total FLOPs of the whole code, regardless of placement."""
+        return float(sum(task.flops for task in self.tasks))
+
+    def flops_by_task(self) -> dict[str, float]:
+        return {task.name: task.flops for task in self.tasks}
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, rng: np.random.Generator | None = None) -> float:
+        """Execute the graph on the local machine and return the final penalty.
+
+        Tasks run in topological order; each consumes the sum of its
+        predecessors' penalties (0 for sources), and the returned value is the
+        sum over sink tasks -- for a linear graph this is exactly
+        :meth:`TaskChain.run`.
+        """
+        generator = rng if rng is not None else np.random.default_rng()
+        penalties: list[float] = []
+        for task, preds in zip(self.tasks, self.predecessor_positions):
+            incoming = 0.0
+            for p in preds:
+                incoming += penalties[p]
+            penalties.append(task.run(incoming, rng=generator))
+        with_successors = {src for src, _ in self.edges}
+        final = 0.0
+        for task, penalty in zip(self.tasks, penalties):
+            if task.name not in with_successors:
+                final += penalty
+        return final
+
+    def subgraph(self, names: Iterable[str]) -> "TaskGraph":
+        """The induced subgraph restricted to the named tasks (edges between them kept)."""
+        wanted = list(names)
+        unknown = set(wanted) - set(self.task_names)
+        if unknown:
+            raise KeyError(f"unknown tasks {sorted(unknown)}; available: {self.task_names}")
+        kept = set(wanted)
+        return TaskGraph(
+            [task for task in self.tasks if task.name in kept],
+            edges=[(src, dst) for src, dst in self.edges if src in kept and dst in kept],
+            name=f"{self.name}[{','.join(wanted)}]",
+        )
+
+    def placement_for(self, assignment: Mapping[str, str]) -> tuple[str, ...]:
+        """Translate a ``task name -> device alias`` mapping into the positional
+        placement every executor consumes (topological order)."""
+        unknown = set(assignment) - set(self.task_names)
+        if unknown:
+            raise KeyError(f"unknown tasks {sorted(unknown)}; available: {self.task_names}")
+        missing = [n for n in self.task_names if n not in assignment]
+        if missing:
+            raise KeyError(f"assignment misses tasks {missing}")
+        return tuple(assignment[n] for n in self.task_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskGraph(name={self.name!r}, tasks={self.task_names}, "
+            f"edges={list(self.edges)})"
+        )

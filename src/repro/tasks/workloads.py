@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from .chain import TaskChain
 from .gemm import GemmLoopTask
+from .graph import TaskGraph
 from .rls import RegularizedLeastSquaresTask
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "table1_chain",
     "multiscale_chain",
     "object_detection_chain",
+    "fork_join_graph",
     "WORKLOADS",
     "get_workload",
 ]
@@ -105,6 +107,41 @@ def object_detection_chain(
         ],
         name="hierarchical-object-detection",
     )
+
+
+def fork_join_graph(
+    branches: int = 3,
+    prepare_size: int = 90,
+    branch_size: int = 260,
+    reduce_size: int = 130,
+    iterations: int = 12,
+) -> TaskGraph:
+    """A fork-join scientific code: ``prep -> {b1..bN} -> join``.
+
+    A preparation solve fans out into ``branches`` independent refinement
+    solves (one per model variant) whose penalties are reduced by a final
+    join solve.  The branches carry most of the FLOPs and generate their
+    data on the executing device (latency- rather than byte-bound), so
+    placing them on *different* devices overlaps their compute -- the
+    workload where a DAG-aware placement beats any chain-linearized one.
+    """
+    if branches < 2:
+        raise ValueError("a fork-join graph needs at least two branches")
+    prep = RegularizedLeastSquaresTask(
+        size=prepare_size, iterations=iterations, name="prep", generate_on_host=False
+    )
+    branch_tasks = [
+        RegularizedLeastSquaresTask(
+            size=branch_size, iterations=iterations, name=f"b{i + 1}", generate_on_host=False
+        )
+        for i in range(branches)
+    ]
+    join = RegularizedLeastSquaresTask(
+        size=reduce_size, iterations=iterations, name="join", generate_on_host=False
+    )
+    edges = [("prep", task.name) for task in branch_tasks]
+    edges += [(task.name, "join") for task in branch_tasks]
+    return TaskGraph([prep, *branch_tasks, join], edges=edges, name="fork-join-code")
 
 
 #: Registry of named workloads used by the experiment harness and the examples.

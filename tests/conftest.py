@@ -1,9 +1,16 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The randomized platform/chain/graph factories live in ``tests/factories.py``
+(hypothesis tests import them directly and drive them with drawn seeds); the
+fixtures below hand the same factories to ordinary tests.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+from factories import random_chain, random_graph, random_platform
 
 from repro.core import BootstrapComparator, Comparison, PairwiseOracle
 
@@ -12,6 +19,24 @@ from repro.core import BootstrapComparator, Comparison, PairwiseOracle
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def make_platform():
+    """Factory fixture: ``make_platform(rng, n_devices)`` -> random Platform."""
+    return random_platform
+
+
+@pytest.fixture
+def make_chain():
+    """Factory fixture: ``make_chain(rng, n_tasks)`` -> random TaskChain."""
+    return random_chain
+
+
+@pytest.fixture
+def make_graph():
+    """Factory fixture: ``make_graph(rng, n_tasks, edge_probability)`` -> random TaskGraph."""
+    return random_graph
 
 
 @pytest.fixture

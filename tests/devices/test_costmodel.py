@@ -27,58 +27,8 @@ from repro.devices.costmodel import (
     task_device_cost,
 )
 from repro.offload import enumerate_placements, placement_matrix
-from repro.tasks import GemmLoopTask, TaskChain
 
-
-def random_platform(rng: np.random.Generator, n_devices: int) -> Platform:
-    """A fully linked platform with randomized device and link parameters."""
-    aliases = ["D", "A", "B", "C"][:n_devices]
-    devices = {
-        alias: DeviceSpec(
-            name=f"dev-{alias}",
-            peak_gflops=float(rng.uniform(5.0, 500.0)),
-            half_saturation_flops=float(rng.uniform(1e4, 1e7)),
-            memory_bandwidth_gbs=float(rng.uniform(2.0, 200.0)),
-            kernel_launch_overhead_s=float(rng.uniform(0.0, 1e-4)),
-            task_startup_overhead_s=float(rng.uniform(0.0, 1e-3)),
-            power_active_w=float(rng.uniform(1.0, 250.0)),
-            power_idle_w=float(rng.uniform(0.1, 30.0)),
-            cost_per_hour=float(rng.uniform(0.0, 2.0)),
-        )
-        for alias in aliases
-    }
-    links = {
-        (a, b): LinkSpec(
-            name=f"link-{a}{b}",
-            bandwidth_gbs=float(rng.uniform(0.01, 10.0)),
-            latency_s=float(rng.uniform(0.0, 1e-2)),
-            energy_per_byte_j=float(rng.uniform(0.0, 1e-7)),
-        )
-        for i, a in enumerate(aliases)
-        for b in aliases[i + 1 :]
-    }
-    return Platform(devices=devices, links=links, host=aliases[0], name="random")
-
-
-def random_chain(rng: np.random.Generator, n_tasks: int) -> TaskChain:
-    tasks = [
-        GemmLoopTask(
-            int(rng.integers(8, 96)),
-            iterations=int(rng.integers(1, 4)),
-            name=f"L{i + 1}",
-        )
-        for i in range(n_tasks)
-    ]
-    return TaskChain(tasks, name=f"random-{n_tasks}")
-
-
-def random_link(rng: np.random.Generator) -> LinkSpec:
-    return LinkSpec(
-        name="rand",
-        bandwidth_gbs=float(rng.uniform(0.01, 10.0)),
-        latency_s=float(rng.uniform(0.0, 1e-2)),
-        energy_per_byte_j=float(rng.uniform(0.0, 1e-7)),
-    )
+from factories import random_chain, random_link, random_platform
 
 
 class TestFormulaTier:

@@ -37,7 +37,7 @@ from repro.scenarios import (
 )
 from repro.tasks import GemmLoopTask, RegularizedLeastSquaresTask, TaskChain
 
-from test_costmodel import random_chain, random_platform
+from factories import random_chain, random_platform
 
 SCENARIO_AXES = [
     (LinkBandwidthScale(), [1.0, 0.5, 0.2]),

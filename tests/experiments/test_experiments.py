@@ -10,6 +10,7 @@ from repro.experiments import (
     EnergySwitchingConfig,
     Figure1Config,
     Figure2Config,
+    ForkJoinConfig,
     RobustnessConfig,
     Section3Config,
     Table1Config,
@@ -28,6 +29,7 @@ class TestRegistry:
             "decision_model",
             "energy_switching",
             "robustness",
+            "forkjoin",
         } <= set(EXPERIMENTS)
 
     def test_unknown_experiment(self):
@@ -231,3 +233,50 @@ class TestRobustness:
         assert "worst case" in text and "regret" in text
         for point in robustness_result.sweep:
             assert point.scenario in text
+
+
+@pytest.fixture(scope="module")
+def forkjoin_result():
+    return run_experiment("forkjoin", ForkJoinConfig(n_measurements=20, repetitions=30))
+
+
+class TestForkJoin:
+    def test_dag_planning_beats_chain_planning(self, forkjoin_result):
+        # The tentpole claim: on a branchy workload the DAG-aware placement
+        # strictly beats the chain-linearized one under the DAG model, and the
+        # two plans genuinely pick different placements.
+        assert forkjoin_result.planning_gain > 1.0
+        assert forkjoin_result.dag_winner != forkjoin_result.chain_winner
+        assert (
+            forkjoin_result.dag_winner_time_s < forkjoin_result.chain_winner_dag_time_s
+        )
+
+    def test_overlap_speedup_vs_serial_model(self, forkjoin_result):
+        assert forkjoin_result.overlap_speedup > 1.0
+        # On this workload the chain plan co-locates everything on one device,
+        # where the DAG model fully serializes too -- the two models coincide
+        # exactly.  (For mixed-device placements they may differ either way:
+        # branches overlap, but fan-in joins pay one penalty hop per edge.)
+        assert len(set(forkjoin_result.chain_winner)) == 1
+        assert (
+            forkjoin_result.chain_winner_dag_time_s
+            == forkjoin_result.chain_winner_serial_time_s
+        )
+
+    def test_dag_winner_survives_noise_clustering(self, forkjoin_result):
+        assert forkjoin_result.dag_winner in forkjoin_result.fastest_class
+        assert forkjoin_result.dag_winner in forkjoin_result.candidates
+        assert forkjoin_result.chain_winner in forkjoin_result.candidates
+
+    def test_space_is_complete(self, forkjoin_result):
+        graph = forkjoin_result.graph
+        assert len(forkjoin_result.graph_batch) == 4 ** len(graph)
+        assert len(forkjoin_result.chain_batch) == 4 ** len(graph)
+        assert forkjoin_result.graph_batch.labels() == forkjoin_result.chain_batch.labels()
+
+    def test_report_tells_the_story(self, forkjoin_result):
+        text = forkjoin_result.report()
+        assert "planning gain" in text
+        assert forkjoin_result.dag_winner in text
+        assert forkjoin_result.chain_winner in text
+        assert "fastest performance class" in text

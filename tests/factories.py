@@ -1,0 +1,83 @@
+"""Shared randomized factories for platforms, chains and graphs.
+
+One copy of the ``random_platform`` / ``random_chain`` helpers that used to be
+duplicated across ``tests/devices/test_batch.py``, ``test_costmodel.py`` and
+``test_grid.py`` (plus the DAG analogue ``random_graph``).  They live in a
+plain module -- not ``conftest.py`` -- so hypothesis tests can call them with
+drawn seeds (function-scoped fixtures and ``@given`` do not mix);
+``tests/conftest.py`` re-exports them as factory fixtures for ordinary tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices import DeviceSpec, LinkSpec, Platform
+from repro.tasks import GemmLoopTask, TaskChain, TaskGraph
+
+
+def random_platform(rng: np.random.Generator, n_devices: int) -> Platform:
+    """A fully linked platform with randomized device and link parameters."""
+    aliases = ["D", "A", "B", "C"][:n_devices]
+    devices = {
+        alias: DeviceSpec(
+            name=f"dev-{alias}",
+            peak_gflops=float(rng.uniform(5.0, 500.0)),
+            half_saturation_flops=float(rng.uniform(1e4, 1e7)),
+            memory_bandwidth_gbs=float(rng.uniform(2.0, 200.0)),
+            kernel_launch_overhead_s=float(rng.uniform(0.0, 1e-4)),
+            task_startup_overhead_s=float(rng.uniform(0.0, 1e-3)),
+            power_active_w=float(rng.uniform(1.0, 250.0)),
+            power_idle_w=float(rng.uniform(0.1, 30.0)),
+            cost_per_hour=float(rng.uniform(0.0, 2.0)),
+        )
+        for alias in aliases
+    }
+    links = {
+        (a, b): random_link(rng, name=f"link-{a}{b}")
+        for i, a in enumerate(aliases)
+        for b in aliases[i + 1 :]
+    }
+    return Platform(devices=devices, links=links, host=aliases[0], name="random")
+
+
+def random_link(rng: np.random.Generator, name: str = "rand") -> LinkSpec:
+    return LinkSpec(
+        name=name,
+        bandwidth_gbs=float(rng.uniform(0.01, 10.0)),
+        latency_s=float(rng.uniform(0.0, 1e-2)),
+        energy_per_byte_j=float(rng.uniform(0.0, 1e-7)),
+    )
+
+
+def random_chain(rng: np.random.Generator, n_tasks: int) -> TaskChain:
+    """A chain of small randomized GEMM loop tasks named ``L1..Ln``."""
+    tasks = [
+        GemmLoopTask(
+            int(rng.integers(8, 96)),
+            iterations=int(rng.integers(1, 4)),
+            name=f"L{i + 1}",
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"random-{n_tasks}")
+
+
+def random_graph(
+    rng: np.random.Generator, n_tasks: int, edge_probability: float = 0.5
+) -> TaskGraph:
+    """A random DAG over the tasks of :func:`random_chain`.
+
+    Each forward pair ``(Li, Lj)`` with ``i < j`` becomes an edge with the
+    given probability, so the graph mixes sources, fan-out, fan-in joins and
+    independent components -- the structures the DAG engine must handle.
+    """
+    chain = random_chain(rng, n_tasks)
+    names = chain.task_names
+    edges = [
+        (names[i], names[j])
+        for i in range(n_tasks)
+        for j in range(i + 1, n_tasks)
+        if rng.random() < edge_probability
+    ]
+    return TaskGraph(chain.tasks, edges=edges, name=f"random-graph-{n_tasks}")

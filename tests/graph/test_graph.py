@@ -1,0 +1,215 @@
+"""Unit tests for the TaskGraph workload model (structure, not cost semantics).
+
+Cost/latency semantics are pinned against the sequential executors in
+``test_graph_equivalence.py``; this module covers the graph itself --
+validation, deterministic topological ordering, chain interop, local
+execution -- plus the hypothesis property that the insertion order of the
+nodes is irrelevant to everything downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import SimulatedExecutor
+from repro.tasks import GemmLoopTask, TaskChain, TaskGraph, fork_join_graph, table1_chain
+
+from factories import random_graph, random_platform
+
+
+def tasks_named(*names: str) -> list[GemmLoopTask]:
+    return [GemmLoopTask(size=8, iterations=1, name=name) for name in names]
+
+
+class TestConstruction:
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            TaskGraph([], edges=[])
+
+    def test_unique_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            TaskGraph(tasks_named("a", "a"))
+
+    def test_unknown_edge_endpoint(self):
+        with pytest.raises(KeyError, match="unknown tasks"):
+            TaskGraph(tasks_named("a", "b"), edges=[("a", "z")])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError, match="self-dependency"):
+            TaskGraph(tasks_named("a", "b"), edges=[("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate edge"):
+            TaskGraph(tasks_named("a", "b"), edges=[("a", "b"), ("a", "b")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph(tasks_named("a", "b", "c"), edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph(tasks_named("a", "b"), edges=[("a", "b"), ("b", "a")])
+
+    def test_single_task_no_edges(self):
+        graph = TaskGraph(tasks_named("only"))
+        assert graph.is_linear
+        assert graph.sources == ("only",) and graph.sinks == ("only",)
+
+
+class TestTopology:
+    def test_levels_and_order_are_canonical(self):
+        # diamond: a -> {b, c} -> d, plus an independent source e
+        graph = TaskGraph(
+            tasks_named("d", "c", "e", "b", "a"),
+            edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        assert graph.levels == (("a", "e"), ("b", "c"), ("d",))
+        assert graph.task_names == ["a", "e", "b", "c", "d"]
+        assert graph.sources == ("a", "e")
+        assert set(graph.sinks) == {"d", "e"}
+        assert graph.predecessors("d") == ("b", "c")
+        assert graph.successors("a") == ("b", "c")
+        assert graph.predecessor_positions == ((), (), (0,), (0,), (2, 3))
+
+    def test_accessor_errors_list_available(self):
+        graph = TaskGraph(tasks_named("a", "b"), edges=[("a", "b")])
+        with pytest.raises(KeyError, match="available"):
+            graph.predecessors("z")
+        with pytest.raises(KeyError, match="available"):
+            graph.successors("z")
+
+    def test_edges_in_canonical_order(self):
+        graph = fork_join_graph(branches=3)
+        assert graph.edges == (
+            ("prep", "b1"),
+            ("prep", "b2"),
+            ("prep", "b3"),
+            ("b1", "join"),
+            ("b2", "join"),
+            ("b3", "join"),
+        )
+        assert graph.n_edges == 6
+
+    def test_subgraph_induced(self):
+        graph = fork_join_graph(branches=2)
+        sub = graph.subgraph(["prep", "b1"])
+        assert sub.task_names == ["prep", "b1"]
+        assert sub.edges == (("prep", "b1"),)
+        with pytest.raises(KeyError, match="available"):
+            graph.subgraph(["prep", "zz"])
+
+    def test_placement_for(self):
+        graph = fork_join_graph(branches=2)
+        placement = graph.placement_for({"prep": "D", "b1": "A", "b2": "E", "join": "D"})
+        assert placement == ("D", "A", "E", "D")
+        with pytest.raises(KeyError, match="misses"):
+            graph.placement_for({"prep": "D"})
+        with pytest.raises(KeyError, match="unknown tasks"):
+            graph.placement_for({"prep": "D", "b1": "A", "b2": "E", "join": "D", "zz": "A"})
+
+
+class TestChainInterop:
+    def test_from_chain_is_linear_and_round_trips(self):
+        chain = table1_chain(loop_size=1)
+        graph = TaskGraph.from_chain(chain)
+        assert graph.is_linear
+        assert graph.task_names == chain.task_names
+        assert graph.to_chain().task_names == chain.task_names
+        assert graph.to_chain().name == chain.name
+
+    def test_to_chain_rejects_branching(self):
+        graph = fork_join_graph(branches=2)
+        assert not graph.is_linear
+        with pytest.raises(ValueError, match="not linear"):
+            graph.to_chain()
+        linearized = graph.linearized_chain()
+        assert isinstance(linearized, TaskChain)
+        assert linearized.task_names == graph.task_names
+
+    def test_parallel_tasks_are_not_linear(self):
+        graph = TaskGraph(tasks_named("a", "b"))  # no edges: one level of two
+        assert not graph.is_linear
+
+    def test_skip_edges_are_not_linear(self):
+        # one task per level, but c joins a AND b: a fan-in, not a chain
+        graph = TaskGraph(tasks_named("a", "b", "c"), edges=[("a", "b"), ("a", "c"), ("b", "c")])
+        assert not graph.is_linear
+        chain = TaskGraph(tasks_named("a", "b", "c"), edges=[("a", "b"), ("b", "c")])
+        assert chain.is_linear
+
+    def test_costs_and_flops_match_chain(self):
+        chain = table1_chain(loop_size=1)
+        graph = TaskGraph.from_chain(chain)
+        assert graph.total_flops == chain.total_flops
+        assert graph.flops_by_task() == chain.flops_by_task()
+        assert [c.flops for c in graph.costs()] == [c.flops for c in chain.costs()]
+
+
+class TestRun:
+    def test_linear_graph_runs_like_the_chain(self):
+        chain = table1_chain(loop_size=1)
+        graph = TaskGraph.from_chain(chain)
+        expected = chain.run(rng=np.random.default_rng(7))
+        actual = graph.run(rng=np.random.default_rng(7))
+        assert actual == expected
+
+    def test_fan_in_sums_predecessor_penalties(self):
+        class ConstantTask(GemmLoopTask):
+            def __init__(self, name, value):
+                super().__init__(size=8, iterations=1, name=name)
+                self.value = value
+
+            def run(self, penalty=0.0, rng=None):
+                return self.value + penalty
+
+        a, b, c = ConstantTask("a", 1.0), ConstantTask("b", 2.0), ConstantTask("c", 4.0)
+        join = ConstantTask("j", 0.5)
+        graph = TaskGraph([a, b, c, join], edges=[("a", "j"), ("b", "j"), ("c", "j")])
+        # j consumes 1 + 2 + 4 = 7 and returns 7.5; sinks = {j}
+        assert graph.run(rng=np.random.default_rng(0)) == 7.5
+
+
+class TestInsertionOrderInvariance:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_tasks=st.integers(min_value=2, max_value=7),
+        perm_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_permuting_nodes_changes_nothing_downstream(self, seed, n_tasks, perm_seed):
+        """Satellite property: topological determinism.
+
+        Rebuilding a graph from a permutation of its tasks (same edges) must
+        reproduce the canonical order exactly, and therefore every batch
+        metric and winner index of the full placement space, bitwise.
+        """
+        rng = np.random.default_rng(seed)
+        platform = random_platform(rng, 3)
+        graph = random_graph(rng, n_tasks, edge_probability=0.5)
+        order = np.random.default_rng(perm_seed).permutation(len(graph))
+        shuffled = TaskGraph(
+            [graph.tasks[i] for i in order], edges=list(graph.edges), name=graph.name
+        )
+        assert shuffled.task_names == graph.task_names
+        assert shuffled.levels == graph.levels
+        assert shuffled.edges == graph.edges
+        assert shuffled.predecessor_positions == graph.predecessor_positions
+
+        original = SimulatedExecutor(platform, seed=0).execute_batch(graph)
+        permuted = SimulatedExecutor(platform, seed=0).execute_batch(shuffled)
+        for field in (
+            "total_time_s",
+            "energy_total_j",
+            "operating_cost",
+            "transferred_bytes",
+            "transfer_energy_j",
+            "busy_by_device",
+            "flops_by_device",
+        ):
+            assert np.array_equal(getattr(original, field), getattr(permuted, field)), field
+        assert original.labels() == permuted.labels()
+        for metric in ("time", "energy", "cost"):
+            assert original.argbest(metric) == permuted.argbest(metric)
+        k = min(5, len(original))
+        assert np.array_equal(original.top(k, "time"), permuted.top(k, "time"))

@@ -142,6 +142,12 @@ class TestTaskChain:
         with pytest.raises(KeyError):
             self._chain().subchain(["L9"])
 
+    def test_subchain_unknown_name_lists_available_tasks(self):
+        """Regression: the KeyError must name the unknown AND available tasks
+        (mirroring the get_platform error style)."""
+        with pytest.raises(KeyError, match=r"unknown tasks \['L9'\].*available.*'L1', 'L2', 'L3'"):
+            self._chain().subchain(["L1", "L9"])
+
     def test_duplicate_names_rejected(self):
         with pytest.raises(ValueError):
             TaskChain([GemmLoopTask(4, name="L1"), GemmLoopTask(4, name="L1")])
@@ -160,6 +166,16 @@ class TestWorkloads:
         assert len(get_workload("table1")) == 3
         with pytest.raises(KeyError):
             get_workload("does-not-exist")
+
+    def test_fork_join_graph_shape(self):
+        from repro.tasks import fork_join_graph
+
+        graph = fork_join_graph(branches=4)
+        assert graph.task_names == ["prep", "b1", "b2", "b3", "b4", "join"]
+        assert graph.sources == ("prep",) and graph.sinks == ("join",)
+        assert graph.levels == (("prep",), ("b1", "b2", "b3", "b4"), ("join",))
+        with pytest.raises(ValueError):
+            fork_join_graph(branches=1)
 
     def test_table1_sizes_match_procedure5(self):
         from repro.tasks import table1_chain
