@@ -1,0 +1,200 @@
+"""Benchmark the exact Viterbi planner vs. the streaming enumerator.
+
+Every earlier speed layer bought a constant factor over brute force; the
+planner changes the exponent: ``O(k * m**2)`` against ``m**k``.  Three claims
+are pinned here:
+
+* **crossover** -- on a sweep of enumerable chain lengths the planner and the
+  enumerator find the identical optimum (asserted untimed, bitwise), and the
+  planner wins from the very first lengths;
+* **headline speedup** -- on a ``4**12`` space (16.7M placements, the
+  ``examples/huge_space_search.py`` workload class) the planner must beat the
+  full streaming sweep by the speedup floor (100x in the acceptance
+  configuration; in practice it is >10000x);
+* **scale** -- a 200-task x 12-device chain (a ``12**200`` space, ~1e215
+  placements) must plan in under a second.
+
+Set ``BENCH_PLANNER_SMALL=1`` (the CI smoke job does) for a reduced headline
+space with a relaxed floor.  Results land in ``BENCH_planner.json`` /
+``BENCH_planner_small.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.devices import DeviceSpec, LinkSpec, Platform, SimulatedExecutor, edge_cluster_platform
+from repro.search import plan_workload, search_space
+from repro.tasks import GemmLoopTask, TaskChain
+
+SMALL = os.environ.get("BENCH_PLANNER_SMALL", "") not in ("", "0")
+
+if SMALL:
+    HEADLINE_TASKS = 9  # 4**9 = 262144 placements
+    SPEEDUP_FLOOR = 20.0
+else:
+    HEADLINE_TASKS = 12  # 4**12 = 16.7M placements (>= the acceptance space)
+    SPEEDUP_FLOOR = 100.0
+
+CROSSOVER_TASKS = (2, 4, 6, 8)
+SCALE_TASKS = 200
+SCALE_DEVICES = 12
+SCALE_SECONDS_FLOOR = 1.0
+SEED = 0
+
+
+def random_chain(rng: np.random.Generator, n_tasks: int) -> TaskChain:
+    tasks = [
+        GemmLoopTask(
+            int(rng.integers(8, 96)), iterations=int(rng.integers(1, 4)), name=f"L{i + 1}"
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"bench-planner-{n_tasks}")
+
+
+def wide_platform(rng: np.random.Generator, n_devices: int) -> Platform:
+    """A fully linked platform wide enough for the 12-device scale workload."""
+    aliases = [chr(ord("A") + i) for i in range(n_devices)]
+    devices = {
+        alias: DeviceSpec(
+            name=f"dev-{alias}",
+            peak_gflops=float(rng.uniform(5.0, 500.0)),
+            half_saturation_flops=float(rng.uniform(1e4, 1e7)),
+            memory_bandwidth_gbs=float(rng.uniform(2.0, 200.0)),
+            kernel_launch_overhead_s=float(rng.uniform(0.0, 1e-4)),
+            task_startup_overhead_s=float(rng.uniform(0.0, 1e-3)),
+            power_active_w=float(rng.uniform(1.0, 250.0)),
+            power_idle_w=float(rng.uniform(0.1, 30.0)),
+            cost_per_hour=float(rng.uniform(0.0, 2.0)),
+        )
+        for alias in aliases
+    }
+    links = {
+        (a, b): LinkSpec(
+            name=f"link-{a}{b}",
+            bandwidth_gbs=float(rng.uniform(0.01, 10.0)),
+            latency_s=float(rng.uniform(0.0, 1e-2)),
+            energy_per_byte_j=float(rng.uniform(0.0, 1e-7)),
+        )
+        for i, a in enumerate(aliases)
+        for b in aliases[i + 1 :]
+    }
+    return Platform(devices=devices, links=links, host=aliases[0], name=f"wide-{n_devices}")
+
+
+def _plan(executor, chain):
+    return plan_workload(executor, chain, "time", method="dp")
+
+
+def test_planner_beats_enumeration_and_scales_past_it(benchmark, bench_once, bench_json):
+    """Identical optima on enumerable spaces; asymptotic win beyond them."""
+    rng = np.random.default_rng(SEED)
+    platform = edge_cluster_platform()
+    executor = SimulatedExecutor(platform)
+    n_devices = len(platform.aliases)
+
+    # Warm both paths (lazy imports, allocator warm-up).
+    tiny = random_chain(rng, 2)
+    search_space(executor, tiny, top_k=1, frontier=None)
+    plan_workload(executor, tiny, "time", method="dp")
+
+    # -- crossover sweep: both engines, identical optima (untimed assert) ----
+    crossover = []
+    for n_tasks in CROSSOVER_TASKS:
+        chain = random_chain(rng, n_tasks)
+        gc.collect()
+        start = time.perf_counter()
+        streamed = search_space(executor, chain, top_k=1, frontier=None)
+        enum_s = time.perf_counter() - start
+        start = time.perf_counter()
+        plan = _plan(executor, chain)
+        plan_s = time.perf_counter() - start
+        assert plan.value == float(streamed.top["time"].values[0])
+        crossover.append((n_tasks, n_devices**n_tasks, enum_s, plan_s))
+
+    # -- headline: the acceptance space, both engines ------------------------
+    headline_chain = random_chain(rng, HEADLINE_TASKS)
+    gc.collect()
+    start = time.perf_counter()
+    streamed = search_space(executor, headline_chain, top_k=1, frontier=None)
+    enumerate_s = time.perf_counter() - start
+
+    gc.collect()
+    start = time.perf_counter()
+    plan = _plan(executor, headline_chain)
+    plan_s = time.perf_counter() - start
+
+    # Equivalence (untimed): the DP optimum is bitwise the enumerated one.
+    assert plan.value == float(streamed.top["time"].values[0])
+    assert plan.label == streamed.top["time"].labels[0] or plan.value == float(
+        streamed.top["time"].values[0]
+    )
+    speedup = enumerate_s / plan_s
+
+    # -- scale: a space no enumeration engine can touch ----------------------
+    scale_platform = wide_platform(rng, SCALE_DEVICES)
+    scale_executor = SimulatedExecutor(scale_platform)
+    scale_chain = random_chain(rng, SCALE_TASKS)
+    gc.collect()
+    start = time.perf_counter()
+    scale_plan = _plan(scale_executor, scale_chain)
+    scale_s = time.perf_counter() - start
+    space_digits = len(str(SCALE_DEVICES**SCALE_TASKS))
+    # Sanity (untimed): the optimum cannot be worse than staying on the host.
+    all_host = scale_executor.execute(scale_chain, scale_platform.host * SCALE_TASKS)
+    assert scale_plan.value <= all_host.total_time_s
+
+    rows = "".join(
+        f"\n    k={k:2d}: {space:>10d} placements  enumerate {e * 1e3:9.2f} ms"
+        f"   plan {p * 1e3:6.2f} ms   ({e / p:8.1f}x)"
+        for k, space, e, p in crossover
+    )
+    print(
+        f"\n{platform.name}: enumerator -> planner crossover{rows}"
+        f"\n  headline ({n_devices}**{HEADLINE_TASKS} = "
+        f"{n_devices**HEADLINE_TASKS} placements):"
+        f"\n    streaming enumeration: {enumerate_s * 1e3:10.1f} ms"
+        f"\n    exact Viterbi DP:      {plan_s * 1e3:10.3f} ms  "
+        f"({speedup:.0f}x, floor {SPEEDUP_FLOOR}x)"
+        f"\n  scale: {SCALE_TASKS} tasks x {SCALE_DEVICES} devices "
+        f"(~1e{space_digits - 1} placements) planned in {scale_s * 1e3:.1f} ms "
+        f"(floor {SCALE_SECONDS_FLOOR}s)"
+    )
+
+    bench_json(
+        "planner_small" if SMALL else "planner",
+        {
+            "workload": {
+                "platform": platform.name,
+                "n_devices": n_devices,
+                "headline_tasks": HEADLINE_TASKS,
+                "headline_placements": n_devices**HEADLINE_TASKS,
+                "crossover_tasks": list(CROSSOVER_TASKS),
+                "scale_tasks": SCALE_TASKS,
+                "scale_devices": SCALE_DEVICES,
+                "scale_space_digits": space_digits,
+                "small": SMALL,
+            },
+            "seconds": {
+                "enumerate_headline": enumerate_s,
+                "plan_headline": plan_s,
+                "plan_scale": scale_s,
+            },
+            "speedups": {"planner": speedup},
+            "floors": {"planner": SPEEDUP_FLOOR, "plan_scale_seconds": SCALE_SECONDS_FLOOR},
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"planner regressed: {speedup:.1f}x < {SPEEDUP_FLOOR}x vs streaming enumeration"
+    )
+    assert scale_s < SCALE_SECONDS_FLOOR, (
+        f"scale planning regressed: {scale_s:.2f}s >= {SCALE_SECONDS_FLOOR}s "
+        f"for {SCALE_TASKS} tasks x {SCALE_DEVICES} devices"
+    )
+
+    bench_once(benchmark, _plan, executor, headline_chain)

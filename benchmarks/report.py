@@ -1,0 +1,106 @@
+"""Aggregate every ``BENCH_*.json`` into one speedup-trajectory table.
+
+Each benchmark writes its result next to this script (see
+``conftest.write_benchmark_json``); this report collects them all and prints
+one row per pinned speedup, sorted by measurement time -- the project's
+performance trajectory from the first batch engine to the exact planner at a
+glance, plus how much headroom each pin has over its CI floor.
+
+Run it directly (``PYTHONPATH=src python benchmarks/report.py``); the CI job
+does after the smoke benchmarks refresh the ``*_small`` files.  Exits
+non-zero if any recorded speedup sits below its recorded floor, so a stale
+or regressed JSON cannot slip through silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.reporting import format_table
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def load_results(directory: Path = BENCH_DIR) -> list[dict]:
+    """All ``BENCH_*.json`` payloads in ``directory``, oldest first."""
+    results = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with path.open() as handle:
+            payload = json.load(handle)
+        payload.setdefault("benchmark", path.stem.removeprefix("BENCH_"))
+        results.append(payload)
+    results.sort(key=lambda payload: payload.get("written_at", ""))
+    return results
+
+
+def _workload_summary(workload: dict) -> str:
+    """A compact ``key=value`` digest of the most telling workload fields."""
+    telling = (
+        "n_tasks",
+        "n_placements",
+        "n_scenarios",
+        "n_measurements",
+        "stream_placements",
+        "headline_placements",
+        "scale_tasks",
+    )
+    parts = [f"{key}={workload[key]}" for key in telling if key in workload]
+    return " ".join(parts) if parts else "-"
+
+
+def trajectory_rows(results: list[dict]) -> tuple[list[tuple[str, ...]], list[str]]:
+    """One table row per pinned speedup; also collects floor violations."""
+    rows: list[tuple[str, ...]] = []
+    violations: list[str] = []
+    for payload in results:
+        name = payload["benchmark"]
+        date = str(payload.get("written_at", "?"))[:10]
+        workload = _workload_summary(payload.get("workload", {}))
+        floors = payload.get("floors", {})
+        for metric, speedup in sorted(payload.get("speedups", {}).items()):
+            floor = floors.get(metric)
+            if floor is not None and speedup < floor:
+                violations.append(
+                    f"{name}:{metric} speedup {speedup:.1f}x below floor {floor}x"
+                )
+            rows.append(
+                (
+                    name,
+                    metric,
+                    f"{speedup:,.1f}x",
+                    f"{floor:g}x" if floor is not None else "-",
+                    f"{speedup / floor:,.0f}x" if floor else "-",
+                    date,
+                    workload,
+                )
+            )
+    return rows, violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    directory = Path(argv[1]) if argv and len(argv) > 1 else BENCH_DIR
+    results = load_results(directory)
+    if not results:
+        print(f"no BENCH_*.json files under {directory}")
+        return 1
+    rows, violations = trajectory_rows(results)
+    print(f"Benchmark speedup trajectory ({len(results)} result files)")
+    print()
+    print(
+        format_table(
+            ("benchmark", "metric", "speedup", "floor", "margin", "measured", "workload"),
+            rows,
+        )
+    )
+    if violations:
+        print()
+        for violation in violations:
+            print(f"FLOOR VIOLATION: {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

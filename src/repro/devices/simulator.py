@@ -424,6 +424,36 @@ class SimulatedExecutor:
             per_chain[key] = tables
         return tables
 
+    def plan(
+        self,
+        chain: TaskChain | TaskGraph,
+        objective="time",
+        devices: Sequence[str] | None = None,
+        *,
+        scenarios=None,
+        method: str = "auto",
+        **options,
+    ):
+        """Provably-optimal placement of a workload, without enumerating ``m**k``.
+
+        Delegates to :func:`repro.search.planner.plan_workload` -- a Viterbi
+        DP over the ``(task, device)`` lattice, ``O(k * m**2)`` for chains --
+        or, when ``scenarios`` is given, to
+        :func:`repro.search.planner.plan_grid`, the exact robust planner over
+        a scenario grid.  ``objective`` is a metric name, a search
+        :class:`~repro.search.objectives.Objective`, or (with scenarios) a
+        :class:`~repro.search.robust.RobustObjective`.  Extra keyword options
+        (``max_level_states``, ``fallback_limit``, ``max_labels``) pass
+        through to the planner.
+        """
+        from ..search.planner import plan_grid, plan_workload
+
+        if scenarios is not None:
+            return plan_grid(self, chain, scenarios, objective, devices=devices, **options)
+        return plan_workload(
+            self, chain, objective, devices=devices, method=method, **options
+        )
+
     def execute_batch(
         self,
         chain: TaskChain | TaskGraph,

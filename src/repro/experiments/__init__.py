@@ -10,6 +10,7 @@ Experiment ids (see DESIGN.md, per-experiment index):
 * ``energy_switching`` -- the DDD <-> DAA duty-cycle scenario of Section IV.
 * ``robustness``       -- winner/performance-class drift along a wifi -> lte sweep.
 * ``forkjoin``         -- DAG-aware vs chain-linearized placement of a fork-join code.
+* ``planner_scale``    -- enumerator -> exact-DP crossover and the 4**200 scale sweep.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from . import (
     figure1,
     figure2,
     forkjoin,
+    planner_scale,
     robustness,
     section3_scores,
     table1,
@@ -32,6 +34,7 @@ from .energy_switching import EnergySwitchingConfig, EnergySwitchingResult
 from .figure1 import Figure1Config, Figure1Result
 from .figure2 import Figure2Config, Figure2Result, paper_oracle
 from .forkjoin import ForkJoinConfig, ForkJoinResult
+from .planner_scale import PlannerScaleConfig, PlannerScaleResult
 from .robustness import RobustnessConfig, RobustnessResult
 from .section3_scores import Section3Config, Section3Result
 from .table1 import PAPER_TABLE1, Table1Config, Table1Result
@@ -58,6 +61,8 @@ __all__ = [
     "RobustnessResult",
     "ForkJoinConfig",
     "ForkJoinResult",
+    "PlannerScaleConfig",
+    "PlannerScaleResult",
 ]
 
 #: Registry: experiment id -> runner callable (each accepts an optional config object).
@@ -70,6 +75,7 @@ EXPERIMENTS: Mapping[str, Callable[..., Any]] = {
     "energy_switching": energy_switching.run,
     "robustness": robustness.run,
     "forkjoin": forkjoin.run,
+    "planner_scale": planner_scale.run,
 }
 
 

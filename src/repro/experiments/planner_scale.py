@@ -1,0 +1,193 @@
+"""Experiment ``planner_scale``: the enumerator -> planner crossover, measured.
+
+Every previous speed layer made brute-force enumeration faster by a constant
+factor; the chain planner changes the *asymptotics* (``O(k * m**2)`` vs
+``m**k``).  This experiment makes that concrete on the 4-device edge cluster:
+
+* on **enumerable** chain lengths, both engines find the optimum -- the values
+  are checked equal and both are timed, locating the crossover chain length
+  beyond which the exact DP wins (in practice: immediately);
+* on **planner-only** chain lengths (up to hundreds of tasks, spaces like
+  ``4**200`` that no enumeration engine can touch), the DP is timed alone and
+  its optimum sanity-bounded by the all-host placement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devices import SimulatedExecutor, edge_cluster_platform
+from ..reporting import format_table
+from ..tasks import GemmLoopTask, TaskChain
+
+__all__ = ["PlannerScaleConfig", "PlannerScaleResult", "CrossoverRow", "ScaleRow", "run"]
+
+
+@dataclass(frozen=True)
+class PlannerScaleConfig:
+    """Parameters of the planner-scale experiment."""
+
+    #: Chain lengths swept by BOTH engines (space ``4**k`` must stay enumerable).
+    enumerable_tasks: tuple[int, ...] = (2, 4, 6, 8)
+    #: Chain lengths planned by the DP alone (space far beyond enumeration).
+    scale_tasks: tuple[int, ...] = (25, 50, 100, 200)
+    objective: str = "time"
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class CrossoverRow:
+    """One enumerable chain length, both engines timed on the same space."""
+
+    n_tasks: int
+    space_size: int
+    enumerate_seconds: float
+    plan_seconds: float
+    value: float
+
+    @property
+    def speedup(self) -> float:
+        return self.enumerate_seconds / self.plan_seconds
+
+
+@dataclass(frozen=True)
+class ScaleRow:
+    """One planner-only chain length (the space is astronomically large)."""
+
+    n_tasks: int
+    space_digits: int
+    plan_seconds: float
+    value: float
+
+
+@dataclass(frozen=True)
+class PlannerScaleResult:
+    config: PlannerScaleConfig
+    n_devices: int
+    crossover: tuple[CrossoverRow, ...]
+    scale: tuple[ScaleRow, ...]
+
+    @property
+    def crossover_tasks(self) -> int | None:
+        """Smallest swept chain length at which the planner beats enumeration."""
+        for row in self.crossover:
+            if row.speedup > 1.0:
+                return row.n_tasks
+        return None
+
+    def report(self) -> str:
+        crossover_rows = [
+            (
+                str(row.n_tasks),
+                f"{self.n_devices}**{row.n_tasks} = {row.space_size}",
+                f"{row.enumerate_seconds * 1e3:.2f}",
+                f"{row.plan_seconds * 1e3:.2f}",
+                f"{row.speedup:.1f}x",
+            )
+            for row in self.crossover
+        ]
+        scale_rows = [
+            (
+                str(row.n_tasks),
+                f"~1e{row.space_digits - 1}",
+                f"{row.plan_seconds * 1e3:.2f}",
+                f"{row.value:.6g}",
+            )
+            for row in self.scale
+        ]
+        parts = [
+            f"Planner scale experiment ({self.n_devices} devices, objective "
+            f"{self.config.objective!r})",
+            "",
+            "enumerator vs exact DP on enumerable spaces (identical optima):",
+            format_table(
+                ("tasks", "space", "enumerate [ms]", "plan [ms]", "speedup"),
+                crossover_rows,
+            ),
+            "",
+            f"crossover: planner wins from k = {self.crossover_tasks} on",
+            "",
+            "exact DP alone, beyond any enumeration horizon:",
+            format_table(("tasks", "space", "plan [ms]", "optimum [s]"), scale_rows),
+        ]
+        return "\n".join(parts)
+
+
+def _random_chain(rng: np.random.Generator, n_tasks: int) -> TaskChain:
+    tasks = [
+        GemmLoopTask(
+            int(rng.integers(8, 96)),
+            iterations=int(rng.integers(1, 4)),
+            name=f"L{i + 1}",
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"planner-scale-{n_tasks}")
+
+
+def run(config: PlannerScaleConfig | None = None) -> PlannerScaleResult:
+    """Time the enumerator -> planner crossover and the planner-only scale sweep."""
+    from ..search import plan_workload, search_space
+
+    cfg = config or PlannerScaleConfig()
+    rng = np.random.default_rng(cfg.seed)
+    platform = edge_cluster_platform()
+    executor = SimulatedExecutor(platform)
+    n_devices = len(platform.aliases)
+
+    crossover: list[CrossoverRow] = []
+    for n_tasks in cfg.enumerable_tasks:
+        chain = _random_chain(rng, n_tasks)
+        t0 = time.perf_counter()
+        streamed = search_space(
+            executor, chain, objectives=(cfg.objective,), top_k=1, frontier=None
+        )
+        enumerate_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        plan = plan_workload(executor, chain, cfg.objective, method="dp")
+        plan_seconds = time.perf_counter() - t0
+        best = float(streamed.top[cfg.objective].values[0])
+        if plan.value != best:
+            raise AssertionError(
+                f"planner/enumerator disagree at k={n_tasks}: {plan.value} vs {best}"
+            )
+        crossover.append(
+            CrossoverRow(
+                n_tasks=n_tasks,
+                space_size=n_devices**n_tasks,
+                enumerate_seconds=enumerate_seconds,
+                plan_seconds=plan_seconds,
+                value=plan.value,
+            )
+        )
+
+    scale: list[ScaleRow] = []
+    for n_tasks in cfg.scale_tasks:
+        chain = _random_chain(rng, n_tasks)
+        t0 = time.perf_counter()
+        plan = plan_workload(executor, chain, cfg.objective, method="dp")
+        plan_seconds = time.perf_counter() - t0
+        all_host = executor.execute(chain, platform.host * n_tasks)
+        if cfg.objective == "time" and plan.value > all_host.total_time_s:
+            raise AssertionError(
+                f"planned optimum {plan.value} worse than all-host "
+                f"{all_host.total_time_s} at k={n_tasks}"
+            )
+        scale.append(
+            ScaleRow(
+                n_tasks=n_tasks,
+                space_digits=len(str(n_devices**n_tasks)),
+                plan_seconds=plan_seconds,
+                value=plan.value,
+            )
+        )
+
+    return PlannerScaleResult(
+        config=cfg,
+        n_devices=n_devices,
+        crossover=tuple(crossover),
+        scale=tuple(scale),
+    )

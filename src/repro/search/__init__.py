@@ -9,6 +9,12 @@ Pareto frontier, and vectorized feasibility constraints, with optional
 multi-process sharding of the placement range (:func:`search_space`).
 ``repro.selection.pareto`` keeps the materialised-profiles facade over the
 same dominance kernel (:func:`pareto_mask`).
+
+:mod:`repro.search.planner` escapes enumeration altogether where the
+objective is additive over the placement lattice: :func:`plan_workload` is an
+exact ``O(k * m**2)`` Viterbi DP (chains; level-DP on barrier-decomposable
+graphs) and :func:`plan_grid` its robust scenario-grid counterpart, both
+differential-pinned against the streaming enumerators.
 """
 
 from .constraints import (
@@ -36,6 +42,15 @@ from .objectives import (
     as_objectives,
 )
 from .pareto import dominated_by, pareto_mask
+from .planner import (
+    GridPlanResult,
+    PlanResult,
+    dispatch_reason,
+    grid_baselines,
+    plan_grid,
+    plan_workload,
+    planner_objective_weights,
+)
 from .robust import (
     ExpectedValueObjective,
     GridSearchResult,
@@ -51,6 +66,13 @@ from .topk import StreamingTopK
 __all__ = [
     "search_space",
     "search_grid",
+    "plan_workload",
+    "plan_grid",
+    "grid_baselines",
+    "planner_objective_weights",
+    "dispatch_reason",
+    "PlanResult",
+    "GridPlanResult",
     "GridSearchResult",
     "ScenarioBest",
     "RobustObjective",

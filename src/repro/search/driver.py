@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..offload.space import indices_to_matrix, space_size
+from ..offload.space import MAX_ENUMERABLE_INDEX, indices_to_matrix, space_size
 from .constraints import Constraint, feasible_mask
 from .frontier import StreamingFrontier
 from .objectives import Objective, as_objectives
@@ -344,6 +344,47 @@ def _run_shard(
     return search
 
 
+def _planner_search(
+    executor: "SimulatedExecutor",
+    chain: "TaskChain | TaskGraph",
+    objectives: Sequence[Objective],
+    devices: Sequence[str] | None,
+    tables,
+) -> SearchResult:
+    """Serve a top-1 full-space request with one exact DP per objective.
+
+    The :class:`SearchResult` shape is preserved with two documented semantic
+    shifts: ``n_evaluated``/``n_feasible`` count the DP's *lattice states*
+    (the whole point -- the ``m**k`` placements were never enumerated), and an
+    index is ``-1`` when the space is too large for the lexicographic
+    placement index to fit an int64 (the label and value are still exact).
+    """
+    from .planner import plan_workload
+
+    top: dict[str, TopSelection] = {}
+    n_states = 0
+    for objective in objectives:
+        plan = plan_workload(executor, chain, objective, devices=devices, method="dp")
+        n_states += plan.n_states
+        index = plan.placement_index
+        top[objective.name] = TopSelection(
+            objective=objective.name,
+            indices=np.array(
+                [index if index <= MAX_ENUMERABLE_INDEX else -1], dtype=np.int64
+            ),
+            values=np.array([plan.value]),
+            labels=(plan.label,),
+        )
+    return SearchResult(
+        n_tasks=tables.n_tasks,
+        aliases=tables.aliases,
+        n_evaluated=n_states,
+        n_feasible=n_states,
+        top=top,
+        frontier=None,
+    )
+
+
 def search_space(
     executor: "SimulatedExecutor",
     chain: "TaskChain | TaskGraph",
@@ -357,6 +398,7 @@ def search_space(
     start: int = 0,
     stop: int | None = None,
     n_workers: int | None = None,
+    method: str = "stream",
 ) -> SearchResult:
     """Sweep a placement-space range and select winners in bounded memory.
 
@@ -371,7 +413,16 @@ def search_space(
     range is sharded into contiguous sub-ranges swept by worker processes
     whose accumulators merge associatively -- the result is identical to the
     serial sweep, independent of worker count and chunking.
+
+    ``method`` selects the engine: ``"stream"`` (default) enumerates;
+    ``"planner"`` answers through :mod:`repro.search.planner`'s exact DP --
+    requiring a top-1, full-range, unconstrained, frontier-free request over
+    DP-plannable objectives and workloads, and raising with the violated
+    requirement otherwise; ``"auto"`` plans when those conditions hold and
+    streams when they do not.
     """
+    if method not in ("stream", "planner", "auto"):
+        raise ValueError(f"unknown method {method!r}; choose 'stream', 'planner' or 'auto'")
     tables = executor.cost_tables(chain, devices)
     total = space_size(tables.n_tasks, tables.n_devices)
     if stop is None:
@@ -383,6 +434,27 @@ def search_space(
 
     coerced_objectives = as_objectives(objectives)
     coerced_frontier = as_objectives(frontier) if frontier is not None else None
+
+    if method in ("planner", "auto"):
+        from .planner import dispatch_reason
+
+        reason = dispatch_reason(
+            tables,
+            coerced_objectives,
+            top_k=top_k,
+            frontier=coerced_frontier,
+            constraints=tuple(constraints),
+            start=start,
+            stop=stop,
+            total=total,
+        )
+        if reason is None:
+            return _planner_search(executor, chain, coerced_objectives, devices, tables)
+        if method == "planner":
+            raise ValueError(
+                f"method='planner' cannot serve this request: {reason}; "
+                "use method='stream' (or 'auto') to enumerate"
+            )
 
     if n_workers is not None and n_workers > 1:
         from concurrent.futures import ProcessPoolExecutor

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..offload.space import indices_to_matrix, iter_placement_batches, space_size
 from .constraints import Constraint, feasible_mask
-from .driver import TopSelection
+from .driver import TopSelection, _shard_ranges
 from .objectives import Objective, as_objective
 from .topk import StreamingTopK
 
@@ -361,90 +361,88 @@ def _feasible(
     return mask
 
 
-def search_grid(
-    executor: "SimulatedExecutor",
-    chain: "TaskChain | TaskGraph",
-    scenarios: "ScenarioGrid | Sequence[Scenario]",
-    *,
-    objectives: "Sequence[str | RobustObjective]" = (WorstCaseObjective(),),
-    top_k: int = 10,
-    constraints: Sequence[Constraint] = (),
-    devices: Sequence[str] | None = None,
-    batch_size: int = 16384,
-    start: int = 0,
-    stop: int | None = None,
-) -> GridSearchResult:
-    """Stream a placement range under every scenario and select robust winners.
+@dataclass
+class _BaselinePass:
+    """Mergeable outcome of one baseline-shard sweep (per-scenario minima)."""
 
-    Chunks of the placement space are evaluated against the whole condition
-    grid in one vectorized pass each (:func:`execute_placements_grid`); per
-    robust objective a :class:`StreamingTopK` keeps the best ``top_k``
-    placements, and each scenario's individual winner is tracked per base
-    objective so the drift between conditions is part of the result.  Peak
-    memory is one ``(n_scenarios, batch_size)`` chunk plus the O(top_k)
-    selection state.
+    minima: dict[str, np.ndarray]
+    any_feasible: bool
 
-    Constraints are enforced *robustly*: a placement is feasible only if it
-    satisfies every constraint under every scenario.  Regret objectives need
-    each scenario's best feasible value over the searched range, so their
-    presence adds one extra streaming pass before selection.
+    def merge(self, other: "_BaselinePass") -> None:
+        for name, values in self.minima.items():
+            np.minimum(values, other.minima[name], out=values)
+        self.any_feasible = self.any_feasible or other.any_feasible
+
+
+@dataclass
+class _SelectionPass:
+    """Mergeable outcome of one selection-shard sweep.
+
+    Merging is associative and order-independent: top-K accumulators merge
+    through :meth:`StreamingTopK.merge`, counters add, and each scenario's
+    winner merges under the serial sweep's exact tie rule -- strictly smaller
+    value wins, equal values keep the smaller placement index (the serial loop
+    streams ascending indices and replaces only on strict ``<``).
     """
-    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
-    from ..devices.grid import build_grid_tables
 
-    tables = build_grid_tables(chain, platforms, devices)
-    total = space_size(tables.n_tasks, tables.n_devices)
-    if stop is None:
-        stop = total
-    if not 0 <= start <= stop <= total:
-        raise ValueError(f"invalid slice [{start}, {stop}) of a space of {total} placements")
-    if start == stop:
-        raise ValueError("cannot search an empty placement range")
-    if top_k <= 0:
-        raise ValueError("top_k must be positive")
+    selectors: dict[str, StreamingTopK]
+    scenario_best_idx: dict[str, np.ndarray]
+    scenario_best_val: dict[str, np.ndarray]
+    n_evaluated: int
+    n_feasible: int
 
-    coerced = as_robust_objectives(objectives)
-    # Bind the grid's scenario weights to expectation objectives left unbound.
-    coerced = tuple(
-        objective.with_weights(grid_weights)
-        if isinstance(objective, ExpectedValueObjective) and objective.weights is None
-        else objective
-        for objective in coerced
-    )
-    # Objectives sharing a base *name* must share the base itself: chunk values
-    # are computed once per base name, so a silent last-wins collision would
-    # rank one objective by another's values.
-    bases: dict[str, "str | Objective"] = {}
-    for objective in coerced:
-        name = _base_name(objective.base)
-        if name in bases and bases[name] != objective.base:
-            raise ValueError(
-                f"robust objectives disagree on the base objective named {name!r}: "
-                f"{bases[name]!r} vs {objective.base!r}"
+    def merge(self, other: "_SelectionPass") -> None:
+        for name, selector in self.selectors.items():
+            selector.merge(other.selectors[name])
+        for name, current_val in self.scenario_best_val.items():
+            current_idx = self.scenario_best_idx[name]
+            other_val = other.scenario_best_val[name]
+            other_idx = other.scenario_best_idx[name]
+            better = (other_val < current_val) | (
+                (other_val == current_val)
+                & (other_idx >= 0)
+                & ((current_idx < 0) | (other_idx < current_idx))
             )
-        bases.setdefault(name, objective.base)
+            current_val[better] = other_val[better]
+            current_idx[better] = other_idx[better]
+        self.n_evaluated += other.n_evaluated
+        self.n_feasible += other.n_feasible
+
+
+def _sweep_baselines(
+    tables: "GridCostTables",
+    bases: Mapping[str, "str | Objective"],
+    baseline_names: Sequence[str],
+    constraints: Sequence[Constraint],
+    batch_size: int,
+    start: int,
+    stop: int,
+) -> _BaselinePass:
+    minima = {name: np.full(tables.n_scenarios, np.inf) for name in baseline_names}
+    any_feasible = False
+    for _, grid in _iter_grid_chunks(tables, batch_size, start, stop):
+        mask = _feasible(grid, constraints)
+        if not mask.any():
+            continue
+        any_feasible = True
+        for name in baseline_names:
+            values = _base_values(bases[name], grid)[:, mask]
+            np.minimum(minima[name], values.min(axis=1), out=minima[name])
+    return _BaselinePass(minima=minima, any_feasible=any_feasible)
+
+
+def _sweep_selection(
+    tables: "GridCostTables",
+    coerced: Sequence[RobustObjective],
+    bases: Mapping[str, "str | Objective"],
+    top_k: int,
+    constraints: Sequence[Constraint],
+    baselines: Mapping[str, np.ndarray],
+    batch_size: int,
+    start: int,
+    stop: int,
+) -> _SelectionPass:
     base_names = list(bases)
-
-    # -- pass 1 (only when regret objectives are present): baselines --------
-    baseline_names = [
-        _base_name(objective.base) for objective in coerced if objective.requires_baseline
-    ]
-    baselines: dict[str, np.ndarray] = {}
-    if baseline_names:
-        minima = {name: np.full(tables.n_scenarios, np.inf) for name in baseline_names}
-        any_feasible = False
-        for _, grid in _iter_grid_chunks(tables, batch_size, start, stop):
-            mask = _feasible(grid, constraints)
-            if not mask.any():
-                continue
-            any_feasible = True
-            for name in baseline_names:
-                values = _base_values(bases[name], grid)[:, mask]
-                np.minimum(minima[name], values.min(axis=1), out=minima[name])
-        if any_feasible:
-            baselines = minima
-
-    # -- selection pass ------------------------------------------------------
     selectors = {objective.name: StreamingTopK(top_k) for objective in coerced}
     scenario_best_idx = {
         name: np.full(tables.n_scenarios, -1, dtype=np.int64) for name in base_names
@@ -476,6 +474,272 @@ def search_grid(
             better = candidate < scenario_best_val[name]
             scenario_best_val[name][better] = candidate[better]
             scenario_best_idx[name][better] = indices[arg[better]]
+    return _SelectionPass(
+        selectors=selectors,
+        scenario_best_idx=scenario_best_idx,
+        scenario_best_val=scenario_best_val,
+        n_evaluated=n_evaluated,
+        n_feasible=n_feasible,
+    )
+
+
+def _run_baseline_shard(
+    platforms: list,
+    chain: "TaskChain | TaskGraph",
+    devices: Sequence[str] | None,
+    bases: dict,
+    baseline_names: tuple,
+    constraints: tuple,
+    batch_size: int,
+    shard_start: int,
+    shard_stop: int,
+) -> _BaselinePass:
+    """Baseline sweep of one contiguous range (runs inside a worker process)."""
+    from ..devices.grid import build_grid_tables
+
+    tables = build_grid_tables(chain, platforms, devices)
+    return _sweep_baselines(
+        tables, bases, baseline_names, constraints, batch_size, shard_start, shard_stop
+    )
+
+
+def _run_selection_shard(
+    platforms: list,
+    chain: "TaskChain | TaskGraph",
+    devices: Sequence[str] | None,
+    coerced: tuple,
+    bases: dict,
+    top_k: int,
+    constraints: tuple,
+    baselines: dict,
+    batch_size: int,
+    shard_start: int,
+    shard_stop: int,
+) -> _SelectionPass:
+    """Selection sweep of one contiguous range (runs inside a worker process)."""
+    from ..devices.grid import build_grid_tables
+
+    tables = build_grid_tables(chain, platforms, devices)
+    return _sweep_selection(
+        tables, coerced, bases, top_k, constraints, baselines, batch_size,
+        shard_start, shard_stop,
+    )
+
+
+def _planner_baseline_reason(
+    chain: "TaskChain | TaskGraph",
+    constraints: Sequence[Constraint],
+    start: int,
+    stop: int,
+    total: int,
+    bases: Mapping[str, "str | Objective"],
+    baseline_names: Sequence[str],
+) -> str | None:
+    """Why the regret baselines cannot come from the exact per-scenario DP."""
+    from ..tasks.graph import TaskGraph
+    from .planner import planner_objective_weights
+
+    if constraints:
+        return "feasibility constraints require the streaming baseline pass"
+    if (start, stop) != (0, total):
+        return "baselines over an index slice require the streaming pass"
+    if isinstance(chain, TaskGraph) and not chain.is_linear:
+        return "planner baselines are exact for chain workloads only"
+    for name in baseline_names:
+        if planner_objective_weights(bases[name]) is None:
+            return f"base objective {name!r} is not DP-plannable"
+    return None
+
+
+def search_grid(
+    executor: "SimulatedExecutor",
+    chain: "TaskChain | TaskGraph",
+    scenarios: "ScenarioGrid | Sequence[Scenario]",
+    *,
+    objectives: "Sequence[str | RobustObjective]" = (WorstCaseObjective(),),
+    top_k: int = 10,
+    constraints: Sequence[Constraint] = (),
+    devices: Sequence[str] | None = None,
+    batch_size: int = 16384,
+    start: int = 0,
+    stop: int | None = None,
+    n_workers: int | None = None,
+    baseline_method: str = "auto",
+) -> GridSearchResult:
+    """Stream a placement range under every scenario and select robust winners.
+
+    Chunks of the placement space are evaluated against the whole condition
+    grid in one vectorized pass each (:func:`execute_placements_grid`); per
+    robust objective a :class:`StreamingTopK` keeps the best ``top_k``
+    placements, and each scenario's individual winner is tracked per base
+    objective so the drift between conditions is part of the result.  Peak
+    memory is one ``(n_scenarios, batch_size)`` chunk plus the O(top_k)
+    selection state.  With ``n_workers > 1`` the index range is sharded
+    across worker processes exactly like :func:`~repro.search.search_space`;
+    shard results merge associatively, so the outcome is identical to the
+    serial sweep.
+
+    Constraints are enforced *robustly*: a placement is feasible only if it
+    satisfies every constraint under every scenario.  Regret objectives need
+    each scenario's best feasible value over the searched range --
+    ``baseline_method`` picks how it is found: ``"stream"`` runs the classic
+    extra streaming pass over the whole range; ``"planner"`` computes each
+    scenario's optimum with one exact chain DP
+    (:func:`repro.search.planner.grid_baselines`, bitwise the streamed
+    minimum, at ``O(s * k * m**2)`` instead of ``O(s * m**k)``), raising when
+    the request is outside the planner boundary (constraints, index slices,
+    non-linear graphs, non-plannable bases); ``"auto"`` (default) plans when
+    eligible and streams otherwise.
+    """
+    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
+    from ..devices.grid import build_grid_tables
+
+    tables = build_grid_tables(chain, platforms, devices)
+    total = space_size(tables.n_tasks, tables.n_devices)
+    if stop is None:
+        stop = total
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"invalid slice [{start}, {stop}) of a space of {total} placements")
+    if start == stop:
+        raise ValueError("cannot search an empty placement range")
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    if baseline_method not in ("auto", "planner", "stream"):
+        raise ValueError(
+            f"unknown baseline_method {baseline_method!r}; choose 'auto', 'planner' or 'stream'"
+        )
+
+    coerced = as_robust_objectives(objectives)
+    # Bind the grid's scenario weights to expectation objectives left unbound.
+    coerced = tuple(
+        objective.with_weights(grid_weights)
+        if isinstance(objective, ExpectedValueObjective) and objective.weights is None
+        else objective
+        for objective in coerced
+    )
+    # Objectives sharing a base *name* must share the base itself: chunk values
+    # are computed once per base name, so a silent last-wins collision would
+    # rank one objective by another's values.
+    bases: dict[str, "str | Objective"] = {}
+    for objective in coerced:
+        name = _base_name(objective.base)
+        if name in bases and bases[name] != objective.base:
+            raise ValueError(
+                f"robust objectives disagree on the base objective named {name!r}: "
+                f"{bases[name]!r} vs {objective.base!r}"
+            )
+        bases.setdefault(name, objective.base)
+    base_names = list(bases)
+
+    ranges = _shard_ranges(start, stop, n_workers) if n_workers and n_workers > 1 else []
+    sharded = len(ranges) > 1
+
+    # -- pass 1 (only when regret objectives are present): baselines --------
+    baseline_names = tuple(
+        dict.fromkeys(
+            _base_name(objective.base) for objective in coerced if objective.requires_baseline
+        )
+    )
+    baselines: dict[str, np.ndarray] = {}
+    if baseline_names:
+        planner_reason = _planner_baseline_reason(
+            chain, tuple(constraints), start, stop, total, bases, baseline_names
+        )
+        if baseline_method == "planner" and planner_reason is not None:
+            raise ValueError(
+                f"baseline_method='planner' cannot serve this request: {planner_reason}; "
+                "use baseline_method='stream' (or 'auto')"
+            )
+        if baseline_method in ("auto", "planner") and planner_reason is None:
+            from .planner import grid_baselines
+
+            try:
+                baselines = {
+                    name: grid_baselines(tables, bases[name]) for name in baseline_names
+                }
+            except KeyError:
+                # No feasible placement at all: same contract as the streaming
+                # pass, which leaves the baselines empty.
+                baselines = {}
+        elif sharded:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=len(ranges)) as pool:
+                shards = pool.map(
+                    _run_baseline_shard,
+                    *zip(
+                        *[
+                            (
+                                platforms,
+                                chain,
+                                devices,
+                                bases,
+                                baseline_names,
+                                tuple(constraints),
+                                batch_size,
+                                shard_start,
+                                shard_stop,
+                            )
+                            for shard_start, shard_stop in ranges
+                        ]
+                    ),
+                )
+                merged_baselines: _BaselinePass | None = None
+                for shard in shards:
+                    if merged_baselines is None:
+                        merged_baselines = shard
+                    else:
+                        merged_baselines.merge(shard)
+            if merged_baselines.any_feasible:
+                baselines = merged_baselines.minima
+        else:
+            sweep = _sweep_baselines(
+                tables, bases, baseline_names, constraints, batch_size, start, stop
+            )
+            if sweep.any_feasible:
+                baselines = sweep.minima
+
+    # -- selection pass ------------------------------------------------------
+    if sharded:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(ranges)) as pool:
+            shards = pool.map(
+                _run_selection_shard,
+                *zip(
+                    *[
+                        (
+                            platforms,
+                            chain,
+                            devices,
+                            coerced,
+                            bases,
+                            top_k,
+                            tuple(constraints),
+                            baselines,
+                            batch_size,
+                            shard_start,
+                            shard_stop,
+                        )
+                        for shard_start, shard_stop in ranges
+                    ]
+                ),
+            )
+            selection: _SelectionPass | None = None
+            for shard in shards:
+                if selection is None:
+                    selection = shard
+                else:
+                    selection.merge(shard)
+    else:
+        selection = _sweep_selection(
+            tables, coerced, bases, top_k, constraints, baselines, batch_size, start, stop
+        )
+    selectors = selection.selectors
+    scenario_best_idx = selection.scenario_best_idx
+    scenario_best_val = selection.scenario_best_val
+    n_evaluated = selection.n_evaluated
+    n_feasible = selection.n_feasible
 
     def _labels(indices: np.ndarray) -> tuple[str, ...]:
         from ..devices.batch import placement_labels
