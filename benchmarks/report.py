@@ -23,12 +23,33 @@ from repro.reporting import format_table
 BENCH_DIR = Path(__file__).resolve().parent
 
 
+class BenchFileError(RuntimeError):
+    """A ``BENCH_*.json`` file exists but cannot be parsed."""
+
+
 def load_results(directory: Path = BENCH_DIR) -> list[dict]:
-    """All ``BENCH_*.json`` payloads in ``directory``, oldest first."""
+    """All ``BENCH_*.json`` payloads in ``directory``, oldest first.
+
+    A malformed or truncated file (e.g. a benchmark killed mid-write) raises
+    :class:`BenchFileError` naming the offending path instead of surfacing a
+    bare ``json.JSONDecodeError`` with no clue which of the dozen files broke.
+    """
     results = []
     for path in sorted(directory.glob("BENCH_*.json")):
-        with path.open() as handle:
-            payload = json.load(handle)
+        try:
+            with path.open() as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BenchFileError(
+                f"malformed benchmark result {path}: {exc}; "
+                f"rerun the benchmark to regenerate it "
+                f"(PYTHONPATH=src python benchmarks/bench_{path.stem.removeprefix('BENCH_').removesuffix('_small')}.py)"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise BenchFileError(
+                f"malformed benchmark result {path}: expected a JSON object, "
+                f"got {type(payload).__name__}; rerun the benchmark to regenerate it"
+            )
         payload.setdefault("benchmark", path.stem.removeprefix("BENCH_"))
         results.append(payload)
     results.sort(key=lambda payload: payload.get("written_at", ""))
@@ -81,7 +102,11 @@ def trajectory_rows(results: list[dict]) -> tuple[list[tuple[str, ...]], list[st
 
 def main(argv: list[str] | None = None) -> int:
     directory = Path(argv[1]) if argv and len(argv) > 1 else BENCH_DIR
-    results = load_results(directory)
+    try:
+        results = load_results(directory)
+    except BenchFileError as exc:
+        print(f"ERROR: {exc}")
+        return 1
     if not results:
         print(f"no BENCH_*.json files under {directory}")
         return 1

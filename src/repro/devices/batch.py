@@ -102,6 +102,9 @@ class ChainCostTables:
     #: only placements that actually traverse such a pair are rejected (the
     #: sequential executor likewise fails only when a transfer needs the link).
     missing_links: frozenset = frozenset()
+    #: Name of the workload the tables were built from (chain/graph name);
+    #: used to attribute placement-shape errors to the offending workload.
+    workload: str = ""
 
     @property
     def n_tasks(self) -> int:
@@ -189,6 +192,7 @@ class ChainCostTables:
             first_penalty_energy=first_penalty_energy,
             first_penalty_bytes=first_penalty_bytes,
             missing_links=frozenset(missing),
+            workload=chain.name,
         )
 
     @classmethod
@@ -285,26 +289,32 @@ def as_placement_matrix(
     placements: np.ndarray | Iterable[Sequence[str] | str],
     aliases: Sequence[str],
     n_tasks: int,
+    workload: str = "",
 ) -> np.ndarray:
     """Normalise placements to an ``(n_placements, n_tasks)`` device-index matrix.
 
     Accepts an integer matrix (validated and returned as-is up to dtype), or an
     iterable of placements in any of the sequential executor's spellings
     (strings like ``"DDA"``, alias tuples, :class:`~repro.offload.placement.Placement`).
+    ``workload`` (a chain/graph name) is woven into shape errors so a failure
+    inside a batch sweep names the workload it was evaluating.
     """
+    what = f"workload {workload!r}" if workload else "the workload"
     if isinstance(placements, np.ndarray):
         if placements.dtype.kind not in "iu":
             raise TypeError("placement matrices must have an integer dtype")
         matrix = np.atleast_2d(placements)
         if matrix.ndim != 2 or matrix.shape[1] != n_tasks:
             raise ValueError(
-                f"placement matrix has shape {placements.shape}, expected (*, {n_tasks})"
+                f"placement matrix has shape {placements.shape}, expected (*, {n_tasks}) "
+                f"-- {what} has {n_tasks} tasks"
             )
         if matrix.shape[0] == 0:
             raise ValueError("at least one placement is required")
         if matrix.min() < 0 or matrix.max() >= len(aliases):
             raise ValueError(
-                f"placement matrix entries must be device indices in [0, {len(aliases)})"
+                f"placement matrix entries must be device indices in [0, {len(aliases)}) "
+                f"(candidate devices: {list(aliases)})"
             )
         return matrix
     index = {alias: i for i, alias in enumerate(aliases)}
@@ -313,13 +323,15 @@ def as_placement_matrix(
         entries = tuple(placement)
         if len(entries) != n_tasks:
             raise ValueError(
-                f"placement {entries!r} has {len(entries)} entries but the chain has {n_tasks} tasks"
+                f"placement {entries!r} has {len(entries)} entries but {what} has "
+                f"{n_tasks} tasks (candidate devices: {list(aliases)})"
             )
         try:
             rows.append([index[alias] for alias in entries])
         except KeyError as exc:
             raise KeyError(
-                f"placement {entries!r} uses a device not among the candidates {list(aliases)}"
+                f"placement {entries!r} for {what} uses device {exc.args[0]!r}, "
+                f"not among the candidates {list(aliases)}"
             ) from exc
     if not rows:
         raise ValueError("at least one placement is required")
@@ -504,7 +516,7 @@ def execute_placements(tables: ChainCostTables, placements: np.ndarray) -> Batch
     every downstream layer (search, selection, scenarios, measurements)
     consumes graph batches unchanged.
     """
-    P = as_placement_matrix(placements, tables.aliases, tables.n_tasks)
+    P = as_placement_matrix(placements, tables.aliases, tables.n_tasks, workload=tables.workload)
     P = P.astype(np.intp, copy=False)  # one cast up front instead of per gather
     if isinstance(tables, GraphCostTables):
         return _execute_graph_placements(tables, P)

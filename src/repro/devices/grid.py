@@ -94,6 +94,8 @@ class GridCostTables:
     #: position in ``device_order`` restricted to those devices: ``(s, n_extra)``.
     extra_idle_power: np.ndarray
     missing_links: frozenset = frozenset()
+    #: Name of the workload the tables were built from (chain/graph name).
+    workload: str = ""
 
     @property
     def n_scenarios(self) -> int:
@@ -131,6 +133,7 @@ class GridCostTables:
             first_penalty_energy=self.first_penalty_energy[index],
             first_penalty_bytes=self.first_penalty_bytes,
             missing_links=self.missing_links,
+            workload=self.workload,
         )
 
 
@@ -339,6 +342,7 @@ def build_grid_tables(
         cost_per_hour=_device_param(platforms, aliases, "cost_per_hour"),
         extra_idle_power=extra_idle_power,
         missing_links=frozenset(missing),
+        workload=chain.name,
     )
 
 
@@ -429,7 +433,7 @@ def execute_placements_grid(tables: GridCostTables, placements: np.ndarray) -> G
     :class:`GraphGridCostTables` route through the DAG traversal (critical
     path, per-edge joins) with the condition axis vectorized alongside.
     """
-    P = as_placement_matrix(placements, tables.aliases, tables.n_tasks)
+    P = as_placement_matrix(placements, tables.aliases, tables.n_tasks, workload=tables.workload)
     P = P.astype(np.intp, copy=False)
     if isinstance(tables, GraphGridCostTables):
         return _execute_graph_placements_grid(tables, P)

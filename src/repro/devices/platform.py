@@ -11,10 +11,13 @@ other device pays the corresponding transfer costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from .device import DeviceSpec
 from .link import LinkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults sits above)
+    from ..faults.models import FaultProfile
 
 __all__ = ["Platform"]
 
@@ -32,6 +35,10 @@ class Platform:
     links: Mapping[tuple[str, str], LinkSpec] = field(default_factory=dict)
     host: str = "D"
     name: str = "platform"
+    #: Optional fault description (see :mod:`repro.faults`): ``None`` means
+    #: the classic fault-free world; executors only consult it when asked to
+    #: evaluate under a retry policy.
+    faults: "FaultProfile | None" = None
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -48,6 +55,14 @@ class Platform:
             normalised[_pair(a, b)] = link
         object.__setattr__(self, "links", normalised)
         object.__setattr__(self, "devices", dict(self.devices))
+        if self.faults is not None:
+            # Imported lazily: repro.faults sits above repro.devices in the
+            # import graph (its engines consume the cost tables).
+            from ..faults.models import FaultProfile
+
+            if not isinstance(self.faults, FaultProfile):
+                raise TypeError(f"faults must be a FaultProfile or None, got {self.faults!r}")
+            self.faults.validate_aliases(self.devices)
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +121,7 @@ class Platform:
             links=self.links,
             host=self.host,
             name=self.name if name is None else name,
+            faults=self.faults,
         )
 
     def with_links(
@@ -132,6 +148,25 @@ class Platform:
             links={**self.links, **normalised},
             host=self.host,
             name=self.name if name is None else name,
+            faults=self.faults,
+        )
+
+    def with_faults(self, faults: "FaultProfile | None", name: str | None = None) -> "Platform":
+        """Derived platform with the fault profile replaced (or cleared).
+
+        Devices, links and host carry over unchanged: faults describe how the
+        existing hardware misbehaves, they do not rewire it.  This is the
+        derivation primitive the failure-regime condition axes
+        (:class:`repro.scenarios.DeviceFailureRate`,
+        :class:`repro.scenarios.LinkDropoutRate`) build scenario platforms
+        with.
+        """
+        return Platform(
+            devices=self.devices,
+            links=self.links,
+            host=self.host,
+            name=self.name if name is None else name,
+            faults=faults,
         )
 
     def validate_aliases(self, aliases: Iterable[str]) -> None:

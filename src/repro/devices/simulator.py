@@ -153,9 +153,17 @@ class SimulatedExecutor:
         aliases = tuple(placement)
         if len(aliases) != len(chain):
             raise ValueError(
-                f"placement {aliases!r} has {len(aliases)} entries but the chain has {len(chain)} tasks"
+                f"placement {aliases!r} has {len(aliases)} entries but chain "
+                f"{chain.name!r} has {len(chain)} tasks "
+                f"(available devices: {sorted(self.platform.devices)})"
             )
-        self.platform.validate_aliases(aliases)
+        try:
+            self.platform.validate_aliases(aliases)
+        except KeyError as exc:
+            raise KeyError(
+                f"placement {aliases!r} for chain {chain.name!r} uses "
+                f"{exc.args[0] if exc.args else 'unknown aliases'}"
+            ) from exc
         return aliases
 
     def execute(
@@ -256,10 +264,18 @@ class SimulatedExecutor:
             aliases = tuple(placement)
         if len(aliases) != len(graph):
             raise ValueError(
-                f"placement {aliases!r} has {len(aliases)} entries but the graph has "
-                f"{len(graph)} tasks (topological order: {graph.task_names})"
+                f"placement {aliases!r} has {len(aliases)} entries but graph "
+                f"{graph.name!r} has {len(graph)} tasks "
+                f"(topological order: {graph.task_names}; "
+                f"available devices: {sorted(self.platform.devices)})"
             )
-        self.platform.validate_aliases(aliases)
+        try:
+            self.platform.validate_aliases(aliases)
+        except KeyError as exc:
+            raise KeyError(
+                f"placement {aliases!r} for graph {graph.name!r} uses "
+                f"{exc.args[0] if exc.args else 'unknown aliases'}"
+            ) from exc
         return aliases
 
     def execute_graph(
@@ -402,25 +418,53 @@ class SimulatedExecutor:
         return self.noise(record.energy.total_j, repetitions, self._rng)
 
     # -- batch engine ---------------------------------------------------
+    @staticmethod
+    def _check_fault_args(retry, faults, timeout) -> None:
+        if retry is None and (faults is not None or timeout is not None):
+            raise ValueError(
+                "fault-aware evaluation needs retry=RetryPolicy(...); "
+                "got faults/timeout without a retry policy"
+            )
+
     def cost_tables(
-        self, chain: TaskChain | TaskGraph, devices: Sequence[str] | None = None
+        self,
+        chain: TaskChain | TaskGraph,
+        devices: Sequence[str] | None = None,
+        *,
+        faults=None,
+        retry=None,
+        timeout=None,
     ) -> "ChainCostTables":
         """Precomputed (cached) cost tables of a workload on this platform.
 
         ``chain`` may be a :class:`TaskChain` or a :class:`TaskGraph`; graphs
         yield :class:`~repro.devices.batch.GraphCostTables`, which every batch
-        entry point below routes through the DAG engine automatically.
+        entry point below routes through the DAG engine automatically.  With
+        ``retry=`` given, returns fault-augmented
+        :class:`~repro.faults.tables.FaultChainCostTables` instead (``faults``
+        defaulting to the platform's attached profile), cached under the full
+        (devices, profile, retry, timeout) key.
         """
         from .batch import build_cost_tables
 
+        self._check_fault_args(retry, faults, timeout)
         key = tuple(devices) if devices is not None else tuple(self.platform.aliases)
+        if retry is not None:
+            from ..faults.tables import build_fault_tables, resolve_fault_profile
+
+            key = (key, resolve_fault_profile(self.platform, faults), retry, timeout)
         per_chain = self._tables_cache.get(chain)
         if per_chain is None:
             per_chain = {}
             self._tables_cache[chain] = per_chain
         tables = per_chain.get(key)
         if tables is None:
-            tables = build_cost_tables(chain, self.platform, key)
+            if retry is not None:
+                tables = build_fault_tables(
+                    chain, self.platform, key[0], retry=retry, faults=faults, timeout=timeout
+                )
+            else:
+                tables = build_cost_tables(chain, self.platform, key)
             per_chain[key] = tables
         return tables
 
@@ -459,6 +503,10 @@ class SimulatedExecutor:
         chain: TaskChain | TaskGraph,
         placements: np.ndarray | Iterable[Sequence[str] | str] | None = None,
         devices: Sequence[str] | None = None,
+        *,
+        faults=None,
+        retry=None,
+        timeout=None,
     ) -> "BatchExecutionResult":
         """Evaluate many placements of one workload in a single vectorized pass.
 
@@ -467,15 +515,22 @@ class SimulatedExecutor:
         placements in the spellings :meth:`execute` accepts, or ``None`` for
         the full ``m**k`` space in lexicographic order.  Every array field of
         the result is bitwise identical to the sequential :meth:`execute`
-        (:meth:`execute_graph` for :class:`TaskGraph` workloads).
+        (:meth:`execute_graph` for :class:`TaskGraph` workloads).  With
+        ``retry=`` given the pass evaluates *expected* costs under faults
+        instead (see :func:`repro.faults.engine.execute_fault_placements`),
+        pinned the same way to :func:`repro.faults.engine.expected_record`.
         """
         from .batch import execute_placements
 
-        tables = self.cost_tables(chain, devices)
+        tables = self.cost_tables(chain, devices, faults=faults, retry=retry, timeout=timeout)
         if placements is None:
             from ..offload.space import placement_matrix
 
             placements = placement_matrix(tables.n_tasks, len(tables.aliases))
+        if retry is not None:
+            from ..faults.engine import execute_fault_placements
+
+            return execute_fault_placements(tables, placements)
         return execute_placements(tables, placements)
 
     def iter_execute_batches(
@@ -485,6 +540,10 @@ class SimulatedExecutor:
         batch_size: int = 65536,
         start: int = 0,
         stop: int | None = None,
+        *,
+        faults=None,
+        retry=None,
+        timeout=None,
     ) -> Iterator["BatchExecutionResult"]:
         """Stream a placement-space range in lexicographic chunks.
 
@@ -493,16 +552,83 @@ class SimulatedExecutor:
         scanned incrementally.  ``start``/``stop`` (defaulting to the whole
         ``m**k`` space) select the half-open placement-index range to stream,
         which is how :func:`repro.search.search_space` shards one sweep across
-        worker processes.  Works for chains and graphs alike.
+        worker processes.  Works for chains and graphs alike, and with
+        ``retry=`` given streams expected-cost-under-faults batches.
         """
         from .batch import execute_placements
         from ..offload.space import iter_placement_batches
 
-        tables = self.cost_tables(chain, devices)
+        tables = self.cost_tables(chain, devices, faults=faults, retry=retry, timeout=timeout)
+        if retry is not None:
+            from ..faults.engine import execute_fault_placements as run
+        else:
+            run = execute_placements
         for matrix in iter_placement_batches(
             tables.n_tasks, len(tables.aliases), batch_size, start=start, stop=stop
         ):
-            yield execute_placements(tables, matrix)
+            yield run(tables, matrix)
+
+    # -- fault-aware entry points ---------------------------------------
+    def execute_with_faults(
+        self,
+        chain: TaskChain | TaskGraph,
+        placement: Sequence[str] | str,
+        *,
+        retry,
+        faults=None,
+        timeout=None,
+        devices: Sequence[str] | None = None,
+    ):
+        """Analytic expected-cost record of one placement under faults.
+
+        The closed-form counterpart of :meth:`simulate_with_faults`: success
+        probability, expected attempts and success-conditional expected
+        time/energy/cost of the placed workload under the fault profile
+        (``faults`` defaults to the platform's attached profile) with the
+        given retry/timeout semantics.  Returns an
+        :class:`~repro.faults.engine.ExpectedFaultRecord`.
+        """
+        from ..faults.engine import expected_record
+
+        tables = self.cost_tables(chain, devices, faults=faults, retry=retry, timeout=timeout)
+        return expected_record(tables, tuple(placement))
+
+    def simulate_with_faults(
+        self,
+        chain: TaskChain,
+        placement: Sequence[str] | str,
+        *,
+        retry,
+        faults=None,
+        timeout=None,
+        rng: np.random.Generator | None = None,
+    ):
+        """Sample one fault-injected execution trace of a placed chain.
+
+        Monte-Carlo counterpart of :meth:`execute_with_faults` (chain-only:
+        the analytic DAG path is a deterministic-equivalent approximation
+        with no per-trial trace to sample).  ``rng`` defaults to the
+        executor's measurement-noise generator, so repeated calls draw fresh
+        trials.  Returns a
+        :class:`~repro.faults.simulate.FaultSimulationRecord`.
+        """
+        from ..faults.simulate import simulate_chain_with_faults
+
+        if isinstance(chain, TaskGraph):
+            raise ValueError(
+                "simulate_with_faults is chain-only: the analytic DAG path is a "
+                "deterministic-equivalent approximation with no per-trial trace "
+                "to sample; use execute_with_faults for graphs"
+            )
+        return simulate_chain_with_faults(
+            self.platform,
+            chain,
+            tuple(placement),
+            retry=retry,
+            faults=faults,
+            timeout=timeout,
+            rng=rng if rng is not None else self._rng,
+        )
 
     def measure_batch(
         self,

@@ -11,6 +11,7 @@ Experiment ids (see DESIGN.md, per-experiment index):
 * ``robustness``       -- winner/performance-class drift along a wifi -> lte sweep.
 * ``forkjoin``         -- DAG-aware vs chain-linearized placement of a fork-join code.
 * ``planner_scale``    -- enumerator -> exact-DP crossover and the 4**200 scale sweep.
+* ``faulttolerance``   -- fault-blind vs fault-aware placement along a failure-rate sweep.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from typing import Any, Callable, Mapping
 from . import (
     decision_model,
     energy_switching,
+    faulttolerance,
     figure1,
     figure2,
     forkjoin,
@@ -31,6 +33,7 @@ from . import (
 from .base import default_analyzer
 from .decision_model import DecisionModelConfig, DecisionModelResult
 from .energy_switching import EnergySwitchingConfig, EnergySwitchingResult
+from .faulttolerance import FaultToleranceConfig, FaultToleranceResult
 from .figure1 import Figure1Config, Figure1Result
 from .figure2 import Figure2Config, Figure2Result, paper_oracle
 from .forkjoin import ForkJoinConfig, ForkJoinResult
@@ -63,6 +66,8 @@ __all__ = [
     "ForkJoinResult",
     "PlannerScaleConfig",
     "PlannerScaleResult",
+    "FaultToleranceConfig",
+    "FaultToleranceResult",
 ]
 
 #: Registry: experiment id -> runner callable (each accepts an optional config object).
@@ -76,6 +81,7 @@ EXPERIMENTS: Mapping[str, Callable[..., Any]] = {
     "robustness": robustness.run,
     "forkjoin": forkjoin.run,
     "planner_scale": planner_scale.run,
+    "faulttolerance": faulttolerance.run,
 }
 
 

@@ -1,0 +1,227 @@
+"""Fault models: device failures, link dropouts and stragglers.
+
+This module is deliberately free of any :mod:`repro` import so it can sit
+below :mod:`repro.devices` in the import graph -- a
+:class:`~repro.devices.Platform` carries an optional :class:`FaultProfile`
+without creating a cycle.
+
+The models are *per-attempt* descriptions:
+
+* :class:`DeviceFailure` -- probability that a single execution attempt of a
+  task on a device crashes.  With ``load_scaled=True`` the rate is a failure
+  intensity per busy-second and the per-attempt probability becomes
+  ``1 - exp(-rate * busy_s)``, so long kernels fail more often than short
+  ones on the same flaky device.
+* :class:`LinkDropout` -- probability that a single transfer over a link is
+  dropped (each host round-trip half and each device-to-device penalty hop
+  counts as one transfer).
+* :class:`StragglerModel` -- probability that an attempt runs ``slowdown``
+  times longer than nominal (tail latency inflation); the device is not
+  busy for the extra time, it is *waiting*, so stragglers cost wall-clock
+  time and idle energy but no additional active energy.
+
+A :class:`FaultProfile` composes the three and provides the scalar survival
+helpers shared by the vectorized table builder, the sequential reference
+executor and the Monte-Carlo sampler -- one definition, three consumers, so
+the differential tests pin a single source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+def _require_probability(value: float, label: str) -> float:
+    value = float(value)
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{label} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def _require_rate(value: float, label: str) -> float:
+    value = float(value)
+    if math.isnan(value) or value < 0.0 or math.isinf(value):
+        raise ValueError(f"{label} must be a finite non-negative rate, got {value!r}")
+    return value
+
+
+def _normalise_device_rates(
+    rates: Mapping[str, float] | Iterable[tuple[str, float]],
+) -> tuple[tuple[str, float], ...]:
+    pairs = rates.items() if isinstance(rates, Mapping) else rates
+    return tuple(sorted((str(alias), float(value)) for alias, value in pairs))
+
+
+def _normalise_link_rates(
+    rates: Mapping[tuple[str, str], float] | Iterable[tuple[tuple[str, str], float]],
+) -> tuple[tuple[tuple[str, str], float], ...]:
+    pairs = rates.items() if isinstance(rates, Mapping) else rates
+    normalised = {}
+    for (a, b), value in pairs:
+        key = tuple(sorted((str(a), str(b))))
+        normalised[key] = float(value)
+    return tuple(sorted(normalised.items()))
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Per-attempt crash probability of task executions, per device.
+
+    ``rate`` is the default applied to every device; ``rates`` overrides it
+    per alias.  With ``load_scaled=True`` both are failure intensities per
+    busy-second instead of plain probabilities.
+    """
+
+    rate: float = 0.0
+    rates: tuple[tuple[str, float], ...] = ()
+    load_scaled: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rates", _normalise_device_rates(self.rates))
+        check = _require_rate if self.load_scaled else _require_probability
+        check(self.rate, "DeviceFailure.rate")
+        for alias, value in self.rates:
+            check(value, f"DeviceFailure.rates[{alias!r}]")
+
+    def probability(self, alias: str, busy_s: float) -> float:
+        """Probability that one attempt of a ``busy_s``-long task on ``alias`` crashes."""
+        rate = dict(self.rates).get(alias, self.rate)
+        if self.load_scaled:
+            return -math.expm1(-rate * busy_s)
+        return rate
+
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(alias for alias, _ in self.rates)
+
+
+@dataclass(frozen=True)
+class LinkDropout:
+    """Per-transfer drop probability, per (unordered) device pair.
+
+    ``rate`` is the default for every link; ``rates`` overrides it per pair.
+    A dropped transfer kills the whole attempt -- the retry re-pays every
+    transfer and the compute.
+    """
+
+    rate: float = 0.0
+    rates: tuple[tuple[tuple[str, str], float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rates", _normalise_link_rates(self.rates))
+        _require_probability(self.rate, "LinkDropout.rate")
+        for pair, value in self.rates:
+            _require_probability(value, f"LinkDropout.rates[{pair!r}]")
+
+    def probability(self, a: str, b: str) -> float:
+        """Drop probability of one transfer between ``a`` and ``b``."""
+        if a == b:
+            return 0.0
+        key = tuple(sorted((a, b)))
+        return dict(self.rates).get(key, self.rate)
+
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(sorted({alias for pair, _ in self.rates for alias in pair}))
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Tail latency inflation: with ``probability`` an attempt takes ``slowdown``x."""
+
+    probability: float = 0.0
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_probability(self.probability, "StragglerModel.probability")
+        slowdown = float(self.slowdown)
+        if math.isnan(slowdown) or math.isinf(slowdown) or slowdown < 1.0:
+            raise ValueError(
+                f"StragglerModel.slowdown must be a finite factor >= 1, got {slowdown!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Composable fault description attachable to a platform.
+
+    The default profile (all components ``None``) models a fault-free world;
+    evaluating it under any retry policy reproduces the classic cost model
+    bit for bit.
+    """
+
+    device_failure: DeviceFailure | None = None
+    link_dropout: LinkDropout | None = None
+    straggler: StragglerModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.device_failure is not None and not isinstance(self.device_failure, DeviceFailure):
+            raise TypeError(f"device_failure must be a DeviceFailure, got {self.device_failure!r}")
+        if self.link_dropout is not None and not isinstance(self.link_dropout, LinkDropout):
+            raise TypeError(f"link_dropout must be a LinkDropout, got {self.link_dropout!r}")
+        if self.straggler is not None and not isinstance(self.straggler, StragglerModel):
+            raise TypeError(f"straggler must be a StragglerModel, got {self.straggler!r}")
+
+    # -- scalar helpers (single source of truth for all three engines) ------
+
+    def device_failure_probability(self, alias: str, busy_s: float) -> float:
+        if self.device_failure is None:
+            return 0.0
+        return self.device_failure.probability(alias, busy_s)
+
+    def link_dropout_probability(self, a: str, b: str) -> float:
+        if self.link_dropout is None:
+            return 0.0
+        return self.link_dropout.probability(a, b)
+
+    @property
+    def straggler_probability(self) -> float:
+        return 0.0 if self.straggler is None else self.straggler.probability
+
+    @property
+    def straggler_slowdown(self) -> float:
+        return 1.0 if self.straggler is None else self.straggler.slowdown
+
+    def node_survival(
+        self, alias: str, host: str, busy_s: float, input_bytes: float, output_bytes: float
+    ) -> float:
+        """Survival of one attempt of a task on ``alias`` including its host I/O.
+
+        The device must not crash and, off host, each nonzero host round-trip
+        half (input download, output upload) must not be dropped.  Folded by
+        repeated multiplication so the vectorized tables are bitwise products
+        of exactly these factors.
+        """
+        survival = 1.0 - self.device_failure_probability(alias, busy_s)
+        if alias != host:
+            drop = self.link_dropout_probability(host, alias)
+            if input_bytes > 0.0:
+                survival = survival * (1.0 - drop)
+            if output_bytes > 0.0:
+                survival = survival * (1.0 - drop)
+        return survival
+
+    def edge_survival(self, src: str, dst: str) -> float:
+        """Survival of the device-to-device penalty hop from ``src`` to ``dst``."""
+        if src == dst:
+            return 1.0
+        return 1.0 - self.link_dropout_probability(src, dst)
+
+    def referenced_aliases(self) -> tuple[str, ...]:
+        """Every alias the profile names explicitly (for platform validation)."""
+        aliases: set[str] = set()
+        if self.device_failure is not None:
+            aliases.update(self.device_failure.aliases())
+        if self.link_dropout is not None:
+            aliases.update(self.link_dropout.aliases())
+        return tuple(sorted(aliases))
+
+    def validate_aliases(self, known: Iterable[str]) -> None:
+        """Raise if the profile names a device the platform does not have."""
+        known_set = set(known)
+        unknown = sorted(set(self.referenced_aliases()) - known_set)
+        if unknown:
+            raise KeyError(
+                f"fault profile references unknown device aliases {unknown}; "
+                f"available: {sorted(known_set)}"
+            )

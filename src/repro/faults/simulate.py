@@ -1,0 +1,228 @@
+"""Monte-Carlo fault injection: sample actual retry traces of one placement.
+
+The statistical cross-check on the closed-form engine: every trial draws the
+straggler/crash/dropout outcomes of each attempt from the same scalar
+:class:`~repro.faults.models.FaultProfile` helpers the analytic tables are
+built from, pays the same per-attempt costs (every attempt re-pays compute
+and transfer; a timed-out attempt is killed after exactly ``timeout_s``
+seconds; backoff delays add wall-clock between attempts), and finalizes
+energy/cost through the shared cost model.  Conditional on success, the
+sample mean of ``total_time_s`` converges to the analytic
+``ExpectedFaultRecord.total_time_s``; the success rate converges to its
+``success_probability``.
+
+Sampling is chain-only: the analytic DAG path substitutes expected durations
+into the critical-path recurrence (a deterministic-equivalent
+approximation), so there is no exact per-trial trace it corresponds to --
+the documented exactness boundary.
+
+On exhausted retries the :class:`~repro.faults.retry.TimeoutPolicy` fallback
+decides the trace: ``"host"`` re-runs the task on the host device (assumed
+reliable -- graceful degradation keeps the record feasible and downstream
+hops re-price from the host), ``"fail"`` stops the trace with the faulting
+task and device named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..devices.costmodel import finalize_execution, penalty_cost, task_device_cost
+from ..devices.energy import EnergyBreakdown
+from .models import FaultProfile
+from .retry import RetryPolicy, TimeoutPolicy
+
+if False:  # pragma: no cover - type-only imports
+    from ..devices.platform import Platform
+    from ..tasks.chain import TaskChain
+
+__all__ = ["FaultSimulationRecord", "simulate_chain_with_faults", "summarize_fault_trials"]
+
+
+@dataclass(frozen=True)
+class FaultSimulationRecord:
+    """One sampled execution trace of a placed chain under fault injection."""
+
+    #: ``"ok"`` (every task ran where planned), ``"degraded"`` (at least one
+    #: task fell back to the host) or ``"failed"`` (a task exhausted its
+    #: retries with ``fallback="fail"``; accounting covers the partial run).
+    status: str
+    placement: tuple[str, ...]
+    #: Where each task actually ran (host substituted on fallback; tasks
+    #: after a failure keep their planned alias).
+    effective_placement: tuple[str, ...]
+    #: Attempts consumed per task (fallback re-runs not counted).
+    attempts: tuple[int, ...]
+    total_time_s: float
+    busy_time_by_device: Mapping[str, float]
+    flops_by_device: Mapping[str, float]
+    transferred_bytes: float
+    energy: EnergyBreakdown
+    energy_total_j: float
+    operating_cost: float
+    failed_task: str | None = None
+    failed_device: str | None = None
+    degraded_tasks: tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        return "".join(self.placement)
+
+
+def simulate_chain_with_faults(
+    platform: "Platform",
+    chain: "TaskChain",
+    placement: Sequence[str],
+    *,
+    retry: RetryPolicy,
+    faults: FaultProfile | None = None,
+    timeout: TimeoutPolicy | None = None,
+    rng: np.random.Generator,
+) -> FaultSimulationRecord:
+    """Sample one fault-injected execution of ``chain`` under ``placement``.
+
+    ``placement`` is a sequence of device aliases, one per task (the
+    sequential executor's spelling).  ``faults`` defaults to the platform's
+    attached profile.
+    """
+    from .tables import resolve_fault_profile
+
+    if not isinstance(retry, RetryPolicy):
+        raise TypeError(f"retry must be a RetryPolicy, got {retry!r}")
+    timeout = timeout if timeout is not None else TimeoutPolicy()
+    profile = resolve_fault_profile(platform, faults)
+    aliases = tuple(placement)
+    if len(aliases) != len(chain):
+        raise ValueError(
+            f"placement {aliases!r} has {len(aliases)} entries but chain "
+            f"{chain.name!r} has {len(chain)} tasks"
+        )
+    platform.validate_aliases(aliases)
+
+    host = platform.host
+    q = profile.straggler_probability
+    sigma = profile.straggler_slowdown
+    budget = timeout.timeout_s
+    max_attempts = retry.max_attempts
+
+    busy: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+    flops: dict[str, float] = {alias: 0.0 for alias in platform.devices}
+    effective: list[str] = []
+    attempts: list[int] = []
+    degraded: list[str] = []
+    transferred = 0.0
+    transfer_energy = 0.0
+    total_time = 0.0
+    status = "ok"
+    failed_task: str | None = None
+    failed_device: str | None = None
+
+    previous = host
+    for task, cost in zip(chain.tasks, chain.costs()):
+        alias = aliases[len(effective)] if len(effective) < len(aliases) else host
+        device_cost = task_device_cost(platform, cost, alias)
+        hop = penalty_cost(platform, previous, alias)
+        busy_time = device_cost.busy_s
+        transfer_time = device_cost.hostio_time_s + hop.time_s
+        duration = busy_time + transfer_time
+        task_bytes = device_cost.hostio_bytes + hop.n_bytes
+        survival = profile.node_survival(
+            alias, host, busy_time, cost.input_bytes, cost.output_bytes
+        ) * profile.edge_survival(previous, alias)
+
+        n_attempts = 0
+        succeeded = False
+        for attempt in range(1, max_attempts + 1):
+            n_attempts = attempt
+            straggles = q > 0.0 and rng.random() < q
+            wall = duration * sigma if straggles else duration
+            if wall > budget:
+                # Killed at the budget: the attempt still occupied the device
+                # and moved its bytes before the kill (same full-attempt
+                # charging the analytic engine applies to failed attempts).
+                wall = budget
+                succeeded = False
+            else:
+                succeeded = rng.random() < survival
+            total_time += wall
+            busy[alias] += busy_time
+            flops[alias] += cost.flops
+            transferred += task_bytes
+            transfer_energy += device_cost.energy_in_j
+            transfer_energy += device_cost.energy_out_j
+            transfer_energy += hop.energy_j
+            if succeeded:
+                break
+            if attempt < max_attempts:
+                total_time += retry.delay(attempt)
+        attempts.append(n_attempts)
+
+        if succeeded:
+            effective.append(alias)
+            previous = alias
+            continue
+        if timeout.fallback == "host" and alias != host:
+            # Graceful degradation: one reliable re-run on the host (the
+            # modelling choice documented in the module docstring).
+            host_cost = task_device_cost(platform, cost, host)
+            host_hop = penalty_cost(platform, previous, host)
+            total_time += host_cost.busy_s + (host_cost.hostio_time_s + host_hop.time_s)
+            busy[host] += host_cost.busy_s
+            flops[host] += cost.flops
+            transferred += host_cost.hostio_bytes + host_hop.n_bytes
+            transfer_energy += host_cost.energy_in_j
+            transfer_energy += host_cost.energy_out_j
+            transfer_energy += host_hop.energy_j
+            effective.append(host)
+            degraded.append(task.name)
+            previous = host
+            status = "degraded"
+            continue
+        status = "failed"
+        failed_task = task.name
+        failed_device = alias
+        effective.append(alias)
+        break
+
+    # Tasks never reached (after a failure) keep their planned alias.
+    effective.extend(aliases[len(effective):])
+    energy, cost_total = finalize_execution(platform, busy, total_time, transfer_energy)
+    return FaultSimulationRecord(
+        status=status,
+        placement=aliases,
+        effective_placement=tuple(effective),
+        attempts=tuple(attempts),
+        total_time_s=total_time,
+        busy_time_by_device=busy,
+        flops_by_device=flops,
+        transferred_bytes=transferred,
+        energy=energy,
+        energy_total_j=energy.total_j,
+        operating_cost=cost_total,
+        failed_task=failed_task,
+        failed_device=failed_device,
+        degraded_tasks=tuple(degraded),
+    )
+
+
+def summarize_fault_trials(records: Sequence[FaultSimulationRecord]) -> dict:
+    """Success/degraded/failed rates and success-conditional means of trials."""
+    if not records:
+        raise ValueError("at least one trial record is required")
+    n = len(records)
+    ok = [r for r in records if r.status == "ok"]
+    summary = {
+        "n_trials": n,
+        "success_rate": len(ok) / n,
+        "degraded_rate": sum(r.status == "degraded" for r in records) / n,
+        "failure_rate": sum(r.status == "failed" for r in records) / n,
+        "mean_time_ok_s": float(np.mean([r.total_time_s for r in ok])) if ok else float("nan"),
+        "mean_energy_ok_j": float(np.mean([r.energy_total_j for r in ok])) if ok else float("nan"),
+        "mean_attempts_ok": (
+            float(np.mean([sum(r.attempts) for r in ok])) if ok else float("nan")
+        ),
+    }
+    return summary

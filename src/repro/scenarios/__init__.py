@@ -7,7 +7,9 @@ turns drift into data:
 
 * :class:`ConditionAxis` subclasses transform a platform along one drift
   dimension (link bandwidth/latency scaling, device load, DVFS frequency,
-  energy price, link-quality interpolation);
+  energy price, link-quality interpolation, and the failure-regime axes
+  :class:`DeviceFailureRate` / :class:`LinkDropoutRate` which install
+  :mod:`repro.faults` profiles);
 * a :class:`Scenario` names one point in condition space (axes pinned to
   values, plus a weight for expectation-style objectives);
 * a :class:`ScenarioGrid` is an ordered cartesian-or-explicit set of
@@ -24,10 +26,12 @@ whole grid (worst case, expectation, minimax regret).
 
 from .conditions import (
     ConditionAxis,
+    DeviceFailureRate,
     DeviceLoadFactor,
     DvfsFrequencyScale,
     EnergyPriceScale,
     LinkBandwidthScale,
+    LinkDropoutRate,
     LinkInterpolation,
     LinkLatencyScale,
     Scenario,
@@ -43,6 +47,8 @@ __all__ = [
     "DvfsFrequencyScale",
     "EnergyPriceScale",
     "LinkInterpolation",
+    "DeviceFailureRate",
+    "LinkDropoutRate",
     "Scenario",
     "ScenarioGrid",
     "apply_conditions",

@@ -25,6 +25,7 @@ from typing import Sequence
 from ..devices.device import DeviceSpec
 from ..devices.link import LinkSpec
 from ..devices.platform import Platform
+from ..faults.models import DeviceFailure, FaultProfile, LinkDropout
 
 __all__ = [
     "ConditionAxis",
@@ -34,6 +35,8 @@ __all__ = [
     "DvfsFrequencyScale",
     "EnergyPriceScale",
     "LinkInterpolation",
+    "DeviceFailureRate",
+    "LinkDropoutRate",
     "Scenario",
     "apply_conditions",
 ]
@@ -269,6 +272,74 @@ class LinkInterpolation(ConditionAxis):
 
 
 @dataclass(frozen=True)
+class DeviceFailureRate(ConditionAxis):
+    """Per-task-execution failure probability of some devices (``None`` = all).
+
+    A *failure-regime* axis: the value becomes the
+    :class:`~repro.faults.models.DeviceFailure` probability of the selected
+    devices in the derived platform's attached
+    :class:`~repro.faults.models.FaultProfile` (other profile components --
+    link dropout, stragglers, other devices' rates -- carry over), so a
+    :class:`ScenarioGrid` sweeps failure rates exactly the way it sweeps
+    bandwidth or clocks.  Value ``0`` reproduces fault-free evaluation.
+    """
+
+    devices: "tuple[str, ...] | None" = None
+    name: str = "device-failure"
+
+    def __post_init__(self) -> None:
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(self.devices))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{self.name} must be a probability in [0, 1], got {value!r}")
+        current = platform.faults if platform.faults is not None else FaultProfile()
+        failure = current.device_failure if current.device_failure is not None else DeviceFailure()
+        if self.devices is None:
+            failure = replace(failure, rate=float(value))
+        else:
+            _selected_devices(platform, self.devices)
+            rates = dict(failure.rates)
+            for alias in self.devices:
+                rates[alias] = float(value)
+            failure = replace(failure, rates=tuple(sorted(rates.items())))
+        return platform.with_faults(replace(current, device_failure=failure))
+
+
+@dataclass(frozen=True)
+class LinkDropoutRate(ConditionAxis):
+    """Per-transfer drop probability of some links (``None`` = every pair).
+
+    The value becomes the :class:`~repro.faults.models.LinkDropout`
+    probability of the selected link pairs in the derived platform's attached
+    fault profile; every dropped transfer fails the attempt that issued it
+    and is re-paid on retry.  Value ``0`` reproduces fault-free evaluation.
+    """
+
+    links: "tuple[tuple[str, str], ...] | None" = None
+    name: str = "link-dropout"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", _normalise_pairs(self.links))
+
+    def apply(self, platform: Platform, value: float) -> Platform:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{self.name} must be a probability in [0, 1], got {value!r}")
+        current = platform.faults if platform.faults is not None else FaultProfile()
+        dropout = current.link_dropout if current.link_dropout is not None else LinkDropout()
+        if self.links is None:
+            dropout = replace(dropout, rate=float(value))
+        else:
+            _selected_links(platform, self.links)
+            rates = dict(dropout.rates)
+            for pair in self.links:
+                rates[pair] = float(value)
+            dropout = replace(dropout, rates=tuple(sorted(rates.items())))
+        return platform.with_faults(replace(current, link_dropout=dropout))
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A named point in condition space: several axes pinned to values.
 
@@ -311,4 +382,5 @@ def apply_conditions(platform: Platform, scenario: Scenario) -> Platform:
         links=derived.links,
         host=derived.host,
         name=f"{platform.name}@{scenario.name}",
+        faults=derived.faults,
     )

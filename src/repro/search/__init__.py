@@ -23,6 +23,7 @@ from .constraints import (
     DeadlineConstraint,
     EnergyBudgetConstraint,
     MaxOffloadedConstraint,
+    SuccessProbabilityConstraint,
     feasible_mask,
 )
 from .driver import (
@@ -99,5 +100,6 @@ __all__ = [
     "EnergyBudgetConstraint",
     "CostBudgetConstraint",
     "MaxOffloadedConstraint",
+    "SuccessProbabilityConstraint",
     "feasible_mask",
 ]

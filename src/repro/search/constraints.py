@@ -24,6 +24,7 @@ __all__ = [
     "EnergyBudgetConstraint",
     "CostBudgetConstraint",
     "MaxOffloadedConstraint",
+    "SuccessProbabilityConstraint",
     "feasible_mask",
 ]
 
@@ -100,6 +101,36 @@ class MaxOffloadedConstraint:
 
     def mask(self, batch: "BatchExecutionResult") -> np.ndarray:
         return batch.n_offloaded(self.host) <= self.max_offloaded
+
+
+@dataclass(frozen=True)
+class SuccessProbabilityConstraint:
+    """Keep placements whose end-to-end success probability meets a floor.
+
+    Only meaningful on fault-aware batches
+    (:class:`~repro.faults.engine.FaultBatchExecutionResult`, produced by
+    ``search_space(..., retry=...)`` or ``execute_batch(..., retry=...)``);
+    filtering a classic batch raises rather than silently keeping everything.
+    """
+
+    min_success: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_success <= 1.0:
+            raise ValueError(
+                f"min_success must be a probability in [0, 1], got {self.min_success!r}"
+            )
+
+    def mask(self, batch: "BatchExecutionResult") -> np.ndarray:
+        success = getattr(batch, "success_probability", None)
+        if success is None:
+            raise ValueError(
+                "SuccessProbabilityConstraint needs a fault-aware batch; "
+                "evaluate with retry=RetryPolicy(...) (e.g. "
+                "search_space(..., retry=...)) so batches carry success "
+                "probabilities"
+            )
+        return success >= self.min_success
 
 
 def feasible_mask(

@@ -325,12 +325,28 @@ def _run_shard(
     shard_start: int,
     shard_stop: int,
     batch_size: int,
+    fault_spec: tuple | None = None,
 ) -> SpaceSearch:
-    """Sweep one contiguous placement range (runs inside a worker process)."""
+    """Sweep one contiguous placement range (runs inside a worker process).
+
+    ``fault_spec`` is the pickled ``(faults, retry, timeout)`` triple of a
+    fault-aware sweep; the worker rebuilds the fault tables locally (cheap
+    relative to a shard) and streams expected-cost batches instead.
+    """
     from ..devices.batch import build_cost_tables, execute_placements
     from ..offload.space import iter_placement_batches
 
-    tables = build_cost_tables(chain, platform, devices)
+    if fault_spec is not None:
+        from ..faults.engine import execute_fault_placements as run
+        from ..faults.tables import build_fault_tables
+
+        faults, retry, timeout = fault_spec
+        tables = build_fault_tables(
+            chain, platform, devices, retry=retry, faults=faults, timeout=timeout
+        )
+    else:
+        run = execute_placements
+        tables = build_cost_tables(chain, platform, devices)
     search = SpaceSearch(
         objectives=objectives, top_k=top_k, frontier=frontier, constraints=constraints
     )
@@ -338,7 +354,7 @@ def _run_shard(
     for matrix in iter_placement_batches(
         tables.n_tasks, tables.n_devices, batch_size, start=shard_start, stop=shard_stop
     ):
-        batch = execute_placements(tables, matrix)
+        batch = run(tables, matrix)
         search.update(batch, start_index=cursor)
         cursor += len(batch)
     return search
@@ -399,6 +415,9 @@ def search_space(
     stop: int | None = None,
     n_workers: int | None = None,
     method: str = "stream",
+    faults=None,
+    retry=None,
+    timeout=None,
 ) -> SearchResult:
     """Sweep a placement-space range and select winners in bounded memory.
 
@@ -420,10 +439,23 @@ def search_space(
     DP-plannable objectives and workloads, and raising with the violated
     requirement otherwise; ``"auto"`` plans when those conditions hold and
     streams when they do not.
+
+    With ``retry=`` given the sweep ranks placements by *expected* cost under
+    the fault profile (``faults`` defaulting to the platform's attached one);
+    fault-aware batches carry success probabilities, so
+    :class:`~repro.search.constraints.SuccessProbabilityConstraint` filters
+    work.  Expected-cost objectives are outside the DP planner boundary:
+    ``method="planner"`` raises, ``"auto"`` streams.
     """
     if method not in ("stream", "planner", "auto"):
         raise ValueError(f"unknown method {method!r}; choose 'stream', 'planner' or 'auto'")
-    tables = executor.cost_tables(chain, devices)
+    if retry is not None and method == "planner":
+        raise ValueError(
+            "method='planner' cannot serve fault-aware search: expected cost "
+            "under faults couples tasks through survival factors outside the "
+            "DP planner boundary; use method='stream' (or 'auto') to enumerate"
+        )
+    tables = executor.cost_tables(chain, devices, faults=faults, retry=retry, timeout=timeout)
     total = space_size(tables.n_tasks, tables.n_devices)
     if stop is None:
         stop = total
@@ -435,7 +467,7 @@ def search_space(
     coerced_objectives = as_objectives(objectives)
     coerced_frontier = as_objectives(frontier) if frontier is not None else None
 
-    if method in ("planner", "auto"):
+    if method in ("planner", "auto") and retry is None:
         from .planner import dispatch_reason
 
         reason = dispatch_reason(
@@ -477,6 +509,7 @@ def search_space(
                                 shard_start,
                                 shard_stop,
                                 batch_size,
+                                (faults, retry, timeout) if retry is not None else None,
                             )
                             for shard_start, shard_stop in ranges
                         ]
@@ -498,7 +531,8 @@ def search_space(
     )
     cursor = start
     for batch in executor.iter_execute_batches(
-        chain, devices, batch_size, start=start, stop=stop
+        chain, devices, batch_size, start=start, stop=stop,
+        faults=faults, retry=retry, timeout=timeout,
     ):
         search.update(batch, start_index=cursor)
         cursor += len(batch)

@@ -340,12 +340,19 @@ def _iter_grid_chunks(
     tables: "GridCostTables", batch_size: int, start: int, stop: int
 ) -> "Iterable[tuple[int, GridExecutionResult]]":
     from ..devices.grid import execute_placements_grid
+    from ..faults.engine import execute_fault_placements_grid
+    from ..faults.tables import FaultGridCostTables
 
+    run = (
+        execute_fault_placements_grid
+        if isinstance(tables, FaultGridCostTables)
+        else execute_placements_grid
+    )
     cursor = start
     for matrix in iter_placement_batches(
         tables.n_tasks, tables.n_devices, batch_size, start=start, stop=stop
     ):
-        yield cursor, execute_placements_grid(tables, matrix)
+        yield cursor, run(tables, matrix)
         cursor += matrix.shape[0]
 
 
@@ -483,6 +490,25 @@ def _sweep_selection(
     )
 
 
+def _build_shard_tables(
+    chain: "TaskChain | TaskGraph",
+    platforms: list,
+    devices: Sequence[str] | None,
+    fault_spec: tuple | None,
+) -> "GridCostTables":
+    """Grid tables of one worker: fault-augmented when ``fault_spec`` is set."""
+    from ..devices.grid import build_grid_tables
+
+    if fault_spec is not None:
+        from ..faults.tables import build_fault_grid_tables
+
+        faults, retry, timeout = fault_spec
+        return build_fault_grid_tables(
+            chain, platforms, devices, retry=retry, faults=faults, timeout=timeout
+        )
+    return build_grid_tables(chain, platforms, devices)
+
+
 def _run_baseline_shard(
     platforms: list,
     chain: "TaskChain | TaskGraph",
@@ -493,11 +519,10 @@ def _run_baseline_shard(
     batch_size: int,
     shard_start: int,
     shard_stop: int,
+    fault_spec: tuple | None = None,
 ) -> _BaselinePass:
     """Baseline sweep of one contiguous range (runs inside a worker process)."""
-    from ..devices.grid import build_grid_tables
-
-    tables = build_grid_tables(chain, platforms, devices)
+    tables = _build_shard_tables(chain, platforms, devices, fault_spec)
     return _sweep_baselines(
         tables, bases, baseline_names, constraints, batch_size, shard_start, shard_stop
     )
@@ -515,11 +540,10 @@ def _run_selection_shard(
     batch_size: int,
     shard_start: int,
     shard_stop: int,
+    fault_spec: tuple | None = None,
 ) -> _SelectionPass:
     """Selection sweep of one contiguous range (runs inside a worker process)."""
-    from ..devices.grid import build_grid_tables
-
-    tables = build_grid_tables(chain, platforms, devices)
+    tables = _build_shard_tables(chain, platforms, devices, fault_spec)
     return _sweep_selection(
         tables, coerced, bases, top_k, constraints, baselines, batch_size,
         shard_start, shard_stop,
@@ -534,11 +558,17 @@ def _planner_baseline_reason(
     total: int,
     bases: Mapping[str, "str | Objective"],
     baseline_names: Sequence[str],
+    fault_aware: bool = False,
 ) -> str | None:
     """Why the regret baselines cannot come from the exact per-scenario DP."""
     from ..tasks.graph import TaskGraph
     from .planner import planner_objective_weights
 
+    if fault_aware:
+        return (
+            "expected-cost-under-faults bases are outside the DP planner "
+            "boundary (survival factors couple consecutive tasks)"
+        )
     if constraints:
         return "feasibility constraints require the streaming baseline pass"
     if (start, stop) != (0, total):
@@ -565,6 +595,9 @@ def search_grid(
     stop: int | None = None,
     n_workers: int | None = None,
     baseline_method: str = "auto",
+    faults=None,
+    retry=None,
+    timeout=None,
 ) -> GridSearchResult:
     """Stream a placement range under every scenario and select robust winners.
 
@@ -590,11 +623,23 @@ def search_grid(
     the request is outside the planner boundary (constraints, index slices,
     non-linear graphs, non-plannable bases); ``"auto"`` (default) plans when
     eligible and streams otherwise.
-    """
-    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
-    from ..devices.grid import build_grid_tables
 
-    tables = build_grid_tables(chain, platforms, devices)
+    With ``retry=`` given every (scenario, placement) pair is evaluated under
+    faults: each scenario uses its own platform's attached profile (the shape
+    the :class:`~repro.scenarios.DeviceFailureRate` /
+    :class:`~repro.scenarios.LinkDropoutRate` axes produce) unless an
+    explicit ``faults`` profile overrides them all.  Fault-aware bases are
+    outside the DP planner boundary, so regret baselines stream
+    (``baseline_method="planner"`` raises with that reason).
+    """
+    if retry is None and (faults is not None or timeout is not None):
+        raise ValueError(
+            "fault-aware evaluation needs retry=RetryPolicy(...); "
+            "got faults/timeout without a retry policy"
+        )
+    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
+    fault_spec = (faults, retry, timeout) if retry is not None else None
+    tables = _build_shard_tables(chain, platforms, devices, fault_spec)
     total = space_size(tables.n_tasks, tables.n_devices)
     if stop is None:
         stop = total
@@ -643,7 +688,8 @@ def search_grid(
     baselines: dict[str, np.ndarray] = {}
     if baseline_names:
         planner_reason = _planner_baseline_reason(
-            chain, tuple(constraints), start, stop, total, bases, baseline_names
+            chain, tuple(constraints), start, stop, total, bases, baseline_names,
+            fault_aware=fault_spec is not None,
         )
         if baseline_method == "planner" and planner_reason is not None:
             raise ValueError(
@@ -679,6 +725,7 @@ def search_grid(
                                 batch_size,
                                 shard_start,
                                 shard_stop,
+                                fault_spec,
                             )
                             for shard_start, shard_stop in ranges
                         ]
@@ -720,6 +767,7 @@ def search_grid(
                             batch_size,
                             shard_start,
                             shard_stop,
+                            fault_spec,
                         )
                         for shard_start, shard_stop in ranges
                     ]

@@ -1,0 +1,115 @@
+"""Actionable placement errors: every entry point names workload, shape and devices.
+
+Regression tests for the error-message contract: a mis-sized or mis-spelled
+placement failing deep inside ``execute``/``execute_batch``/``plan`` must
+name the chain/graph it was evaluating, the expected length, and the
+available device aliases -- not just "KeyError: 'Z'".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from factories import random_chain, random_graph
+
+from repro.devices import SimulatedExecutor, edge_cluster_platform
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return SimulatedExecutor(edge_cluster_platform())
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return random_chain(np.random.default_rng(0), 3)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(np.random.default_rng(0), 3)
+
+
+class TestSequentialExecute:
+    def test_wrong_length_names_chain_and_devices(self, executor, chain):
+        with pytest.raises(ValueError) as excinfo:
+            executor.execute(chain, ("D", "E"))
+        message = str(excinfo.value)
+        assert "has 2 entries" in message
+        assert f"chain {chain.name!r} has 3 tasks" in message
+        assert "available devices: ['A', 'D', 'E', 'N']" in message
+
+    def test_unknown_alias_names_chain_and_devices(self, executor, chain):
+        with pytest.raises(KeyError) as excinfo:
+            executor.execute(chain, ("D", "E", "Z"))
+        message = str(excinfo.value)
+        assert f"for chain {chain.name!r}" in message
+        assert "unknown device aliases ['Z']" in message
+        assert "available: ['A', 'D', 'E', 'N']" in message
+
+    def test_graph_errors_name_graph_and_topological_order(self, executor, graph):
+        with pytest.raises(ValueError) as excinfo:
+            executor.execute(graph, ("D",))
+        message = str(excinfo.value)
+        assert f"graph {graph.name!r} has 3 tasks" in message
+        assert f"topological order: {graph.task_names}" in message
+        assert "available devices:" in message
+        with pytest.raises(KeyError) as excinfo:
+            executor.execute(graph, ("D", "E", "Z"))
+        message = str(excinfo.value)
+        assert f"for graph {graph.name!r}" in message
+        assert "unknown device aliases ['Z']" in message
+
+
+class TestBatchExecute:
+    def test_wrong_length_placement_names_workload(self, executor, chain):
+        with pytest.raises(ValueError) as excinfo:
+            executor.execute_batch(chain, [("D", "E")])
+        message = str(excinfo.value)
+        assert "has 2 entries" in message
+        assert f"workload {chain.name!r}" in message
+        assert "candidate devices: ['D', 'N', 'E', 'A']" in message
+
+    def test_unknown_alias_names_workload_and_candidates(self, executor, chain):
+        with pytest.raises(KeyError) as excinfo:
+            executor.execute_batch(chain, [("D", "E", "Z")])
+        message = str(excinfo.value)
+        assert "uses device 'Z'" in message
+        assert f"workload {chain.name!r}" in message
+        assert "candidates ['D', 'N', 'E', 'A']" in message
+
+    def test_mis_shaped_matrix_names_task_count(self, executor, chain):
+        with pytest.raises(ValueError) as excinfo:
+            executor.execute_batch(chain, np.zeros((4, 2), dtype=np.intp))
+        message = str(excinfo.value)
+        assert "expected (*, 3)" in message
+        assert f"workload {chain.name!r} has 3 tasks" in message
+
+    def test_out_of_range_indices_name_candidates(self, executor, chain):
+        with pytest.raises(ValueError, match=r"candidate devices: \['D', 'N', 'E', 'A'\]"):
+            executor.execute_batch(chain, np.full((2, 3), 9, dtype=np.intp))
+
+    def test_graph_batches_name_the_graph(self, executor, graph):
+        with pytest.raises(ValueError, match=f"workload '{graph.name}'"):
+            executor.execute_batch(graph, [("D", "E")])
+
+
+class TestPlan:
+    def test_unknown_device_subset_is_actionable(self, executor, chain):
+        with pytest.raises(KeyError, match=r"unknown device aliases \['Z'\]"):
+            executor.plan(chain, "time", devices=("D", "Z"))
+
+    def test_graph_plan_errors_name_the_graph(self, executor, graph):
+        with pytest.raises(KeyError, match=r"unknown device aliases \['Z'\]"):
+            executor.plan(graph, "time", devices=("D", "Z"))
+
+
+class TestFaultArgGuard:
+    def test_faults_without_retry_names_the_fix(self, executor, chain):
+        from repro.faults import FaultProfile, TimeoutPolicy
+
+        with pytest.raises(ValueError, match="retry=RetryPolicy"):
+            executor.execute_batch(chain, faults=FaultProfile())
+        with pytest.raises(ValueError, match="retry=RetryPolicy"):
+            executor.cost_tables(chain, timeout=TimeoutPolicy(timeout_s=1.0))

@@ -280,3 +280,69 @@ class TestForkJoin:
         assert forkjoin_result.dag_winner in text
         assert forkjoin_result.chain_winner in text
         assert "fastest performance class" in text
+
+
+@pytest.fixture(scope="module")
+def faulttolerance_result():
+    from repro.experiments import FaultToleranceConfig
+
+    return run_experiment(
+        "faulttolerance",
+        FaultToleranceConfig(
+            failure_rates=(0.0, 0.1, 0.35),
+            task_sizes=(60, 120, 220),
+        ),
+    )
+
+
+class TestFaultTolerance:
+    def test_registered(self):
+        assert "faulttolerance" in EXPERIMENTS
+
+    def test_blind_pick_is_the_rate_zero_optimum(self, faulttolerance_result):
+        first = faulttolerance_result.sweep[0]
+        assert first.rate == 0.0
+        assert first.aware == faulttolerance_result.blind_label
+        assert first.blind_overhead == 0.0
+
+    def test_blind_overhead_never_negative(self, faulttolerance_result):
+        # The fault-aware pick minimises expected time per point, so the blind
+        # placement can never beat it.
+        for point in faulttolerance_result.sweep:
+            assert point.blind_time_s >= point.aware_time_s
+            assert point.blind_overhead >= 0.0
+
+    def test_success_probabilities_degrade_along_the_sweep(self, faulttolerance_result):
+        blind_success = [point.blind_success for point in faulttolerance_result.sweep]
+        assert blind_success[0] == 1.0
+        assert blind_success == sorted(blind_success, reverse=True)
+
+    def test_crossover_is_reported_when_picks_drift(self, faulttolerance_result):
+        result = faulttolerance_result
+        drifted = any(p.aware != result.blind_label for p in result.sweep)
+        if drifted:
+            assert result.crossover_rate in {p.rate for p in result.sweep}
+            assert result.pick_drift() >= 2
+        else:
+            assert result.crossover_rate is None
+
+    def test_fallback_plan_covers_every_non_host_device(self, faulttolerance_result):
+        fallback = faulttolerance_result.fallback
+        assert set(fallback.covered_devices()) == {"N", "E", "A"}
+        for alias in fallback.covered_devices():
+            assert alias not in fallback.backup_for(alias).placement
+
+    def test_report_tells_the_story(self, faulttolerance_result):
+        text = faulttolerance_result.report()
+        assert "blind overhead" in text
+        assert faulttolerance_result.blind_label in text
+        assert "fallback plan" in text
+
+    def test_config_validation(self):
+        from repro.experiments import FaultToleranceConfig
+        from repro.experiments.faulttolerance import run
+
+        with pytest.raises(ValueError, match="at least 2"):
+            run(FaultToleranceConfig(failure_rates=(0.1,)))
+        with pytest.raises(ValueError, match="ascending"):
+            run(FaultToleranceConfig(failure_rates=(0.3, 0.1)))

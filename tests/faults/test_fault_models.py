@@ -1,0 +1,138 @@
+"""Fault-model validators, survival helpers and platform attachment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.devices import Platform, edge_cluster_platform
+from repro.faults import DeviceFailure, FaultProfile, LinkDropout, StragglerModel
+
+
+class TestDeviceFailure:
+    def test_default_is_fault_free(self):
+        failure = DeviceFailure()
+        assert failure.probability("D", 1.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan")])
+    def test_rejects_non_probability_rate(self, bad):
+        with pytest.raises(ValueError, match="DeviceFailure.rate"):
+            DeviceFailure(rate=bad)
+
+    def test_rejects_non_probability_per_device_rate(self):
+        with pytest.raises(ValueError, match="rates\\['E'\\]"):
+            DeviceFailure(rates={"E": 2.0})
+
+    def test_per_device_override_beats_default(self):
+        failure = DeviceFailure(rate=0.01, rates={"E": 0.3})
+        assert failure.probability("E", 1.0) == 0.3
+        assert failure.probability("A", 1.0) == 0.01
+
+    def test_load_scaled_rate_is_an_intensity(self):
+        failure = DeviceFailure(rate=0.5, load_scaled=True)
+        busy = 2.0
+        assert failure.probability("D", busy) == pytest.approx(-math.expm1(-0.5 * busy))
+        # Intensities may exceed 1 (they are per-second, not probabilities)...
+        DeviceFailure(rate=3.0, load_scaled=True)
+        # ...but must stay finite and non-negative.
+        with pytest.raises(ValueError, match="rate"):
+            DeviceFailure(rate=math.inf, load_scaled=True)
+        with pytest.raises(ValueError, match="rate"):
+            DeviceFailure(rate=-1.0, load_scaled=True)
+
+    def test_longer_tasks_fail_more_often_when_load_scaled(self):
+        failure = DeviceFailure(rate=0.2, load_scaled=True)
+        assert failure.probability("D", 5.0) > failure.probability("D", 0.5)
+
+
+class TestLinkDropout:
+    def test_symmetric_and_zero_on_same_device(self):
+        dropout = LinkDropout(rate=0.01, rates={("D", "E"): 0.2})
+        assert dropout.probability("D", "E") == 0.2
+        assert dropout.probability("E", "D") == 0.2
+        assert dropout.probability("E", "A") == 0.01
+        assert dropout.probability("E", "E") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.5, 1.01, float("nan")])
+    def test_rejects_non_probability(self, bad):
+        with pytest.raises(ValueError, match="LinkDropout"):
+            LinkDropout(rate=bad)
+
+
+class TestStragglerModel:
+    def test_rejects_slowdown_below_one(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            StragglerModel(probability=0.1, slowdown=0.5)
+
+    def test_rejects_non_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            StragglerModel(probability=1.5)
+
+
+class TestFaultProfile:
+    def test_default_profile_is_fault_free(self):
+        profile = FaultProfile()
+        assert profile.device_failure_probability("E", 1.0) == 0.0
+        assert profile.link_dropout_probability("D", "E") == 0.0
+        assert profile.straggler_probability == 0.0
+        assert profile.straggler_slowdown == 1.0
+        assert profile.node_survival("E", "D", 1.0, 100.0, 100.0) == 1.0
+        assert profile.edge_survival("E", "A") == 1.0
+
+    def test_component_types_validated(self):
+        with pytest.raises(TypeError, match="device_failure"):
+            FaultProfile(device_failure=0.3)  # type: ignore[arg-type]
+        with pytest.raises(TypeError, match="link_dropout"):
+            FaultProfile(link_dropout="lossy")  # type: ignore[arg-type]
+        with pytest.raises(TypeError, match="straggler"):
+            FaultProfile(straggler=2.0)  # type: ignore[arg-type]
+
+    def test_node_survival_composes_crash_and_both_io_halves(self):
+        profile = FaultProfile(
+            device_failure=DeviceFailure(rate=0.1),
+            link_dropout=LinkDropout(rate=0.2),
+        )
+        # Off host with both transfer halves: (1-0.1) * (1-0.2) * (1-0.2).
+        expected = (1.0 - 0.1) * (1.0 - 0.2) * (1.0 - 0.2)
+        assert profile.node_survival("E", "D", 1.0, 64.0, 64.0) == pytest.approx(expected)
+        # On the host no transfer halves apply.
+        assert profile.node_survival("D", "D", 1.0, 64.0, 64.0) == pytest.approx(0.9)
+        # Zero-byte halves do not risk a drop.
+        assert profile.node_survival("E", "D", 1.0, 0.0, 64.0) == pytest.approx(0.9 * 0.8)
+
+    def test_referenced_aliases_and_validation(self):
+        profile = FaultProfile(
+            device_failure=DeviceFailure(rates={"E": 0.1}),
+            link_dropout=LinkDropout(rates={("D", "Z"): 0.1}),
+        )
+        assert profile.referenced_aliases() == ("D", "E", "Z")
+        with pytest.raises(KeyError, match=r"unknown device aliases \['Z'\]"):
+            profile.validate_aliases(("D", "E", "A"))
+        profile.validate_aliases(("D", "E", "Z"))
+
+
+class TestPlatformAttachment:
+    def test_with_faults_attaches_and_detaches(self):
+        platform = edge_cluster_platform()
+        assert platform.faults is None
+        profile = FaultProfile(device_failure=DeviceFailure(rate=0.05))
+        faulty = platform.with_faults(profile)
+        assert faulty.faults is profile
+        assert platform.faults is None  # original untouched
+        assert faulty.with_faults(None).faults is None
+
+    def test_derived_platforms_keep_the_profile(self):
+        profile = FaultProfile(device_failure=DeviceFailure(rate=0.05))
+        platform = edge_cluster_platform().with_faults(profile)
+        scaled = platform.with_devices({
+            alias: spec for alias, spec in platform.devices.items()
+        })
+        assert scaled.faults is profile
+        relinked = platform.with_links(dict(platform.links))
+        assert relinked.faults is profile
+
+    def test_profile_naming_unknown_device_is_rejected(self):
+        profile = FaultProfile(device_failure=DeviceFailure(rates={"Z": 0.5}))
+        with pytest.raises(KeyError, match=r"unknown device aliases \['Z'\]"):
+            edge_cluster_platform().with_faults(profile)

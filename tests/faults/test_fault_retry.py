@@ -1,0 +1,142 @@
+"""Retry/timeout policy validation and the truncated-geometric attempt algebra.
+
+The hypothesis test at the bottom is the statistical pin of the closed forms:
+simulated truncated-geometric retries must converge to the analytic
+``expected_attempts`` values for any drawn failure probability and budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import RetryPolicy, TimeoutPolicy, expected_attempts, expected_backoff
+
+
+class TestRetryPolicyValidation:
+    def test_default_is_zero_retry(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.delays() == ()
+
+    @pytest.mark.parametrize("bad", [0, -1, 5000])
+    def test_attempt_bounds(self, bad):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=bad)
+
+    @pytest.mark.parametrize("bad", [1.5, True, "3"])
+    def test_attempts_must_be_int(self, bad):
+        with pytest.raises(TypeError, match="max_attempts"):
+            RetryPolicy(max_attempts=bad)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("bad", [-0.001, float("nan"), float("inf")])
+    def test_rejects_invalid_backoff_base(self, bad):
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            RetryPolicy(max_attempts=3, backoff_base_s=bad)
+
+    @pytest.mark.parametrize("bad", [0.5, float("nan"), float("inf")])
+    def test_rejects_invalid_backoff_factor(self, bad):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(max_attempts=3, backoff_factor=bad)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_rejects_invalid_backoff_cap(self, bad):
+        with pytest.raises(ValueError, match="backoff_cap_s"):
+            RetryPolicy(max_attempts=3, backoff_cap_s=bad)
+
+    def test_exponential_schedule_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base_s=1.0, backoff_factor=2.0, backoff_cap_s=3.0
+        )
+        assert policy.delays() == (1.0, 2.0, 3.0, 3.0)
+        with pytest.raises(ValueError, match="failures >= 1"):
+            policy.delay(0)
+
+
+class TestTimeoutPolicy:
+    def test_default_is_unbounded_fail(self):
+        policy = TimeoutPolicy()
+        assert math.isinf(policy.timeout_s)
+        assert policy.fallback == "fail"
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_rejects_non_positive_timeout(self, bad):
+        with pytest.raises(ValueError, match="timeout_s"):
+            TimeoutPolicy(timeout_s=bad)
+
+    def test_rejects_unknown_fallback(self):
+        with pytest.raises(ValueError, match="fallback"):
+            TimeoutPolicy(fallback="retry-forever")
+
+
+class TestExpectedAttempts:
+    def test_fault_free_single_attempt(self):
+        assert expected_attempts(0.0, 1) == (1.0, 1.0)
+        assert expected_attempts(0.0, 7) == (1.0, 1.0)
+
+    def test_half_failure_three_attempts(self):
+        success, attempts = expected_attempts(0.5, 3)
+        assert success == pytest.approx(0.875)
+        assert attempts == pytest.approx(11.0 / 7.0)
+
+    def test_certain_failure_reports_zero_success_unit_attempts(self):
+        # attempts is defined as 1.0 so callers can scale per-attempt costs
+        # without manufacturing 0 * inf; success probability 0 is the signal.
+        assert expected_attempts(1.0, 5) == (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p_fail"):
+            expected_attempts(1.5, 3)
+        with pytest.raises(ValueError, match="p_fail"):
+            expected_attempts(float("nan"), 3)
+        with pytest.raises(ValueError, match="max_attempts"):
+            expected_attempts(0.5, 0)
+
+
+class TestExpectedBackoff:
+    def test_zero_without_failures_or_budget(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=1.0)
+        assert expected_backoff(0.0, policy) == 0.0
+        assert expected_backoff(1.0, policy) == 0.0  # success impossible
+        assert expected_backoff(0.5, RetryPolicy(max_attempts=1)) == 0.0
+
+    def test_hand_computed_value(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=1.0, backoff_factor=2.0)
+        # delays (1, 2); p=0.5, p^3=0.125:
+        # (1*(0.5-0.125) + 2*(0.25-0.125)) / 0.875 = 0.625 / 0.875
+        assert expected_backoff(0.5, policy) == pytest.approx(0.625 / 0.875)
+
+
+@given(
+    p_fail=st.floats(min_value=0.0, max_value=0.9),
+    max_attempts=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_analytic_attempts_match_simulated_retries(p_fail, max_attempts, seed):
+    """The closed forms ARE the mean of sampled truncated-geometric retries."""
+    rng = np.random.default_rng(seed)
+    n_trials = 20_000
+    uniforms = rng.random((n_trials, max_attempts))
+    fails = uniforms < p_fail
+    succeeded = ~fails.all(axis=1)
+    first_success = np.argmax(~fails, axis=1) + 1  # 1-based attempt index
+
+    success, attempts = expected_attempts(p_fail, max_attempts)
+    assert np.mean(succeeded) == pytest.approx(success, abs=0.02)
+    if succeeded.any():
+        simulated = float(np.mean(first_success[succeeded]))
+        assert simulated == pytest.approx(attempts, rel=0.05, abs=0.05)
+
+    # The backoff expectation is the matching delay-weighted sum.
+    policy = RetryPolicy(max_attempts=max_attempts, backoff_base_s=0.5, backoff_factor=2.0)
+    if succeeded.any():
+        delays = np.array((0.0,) + policy.delays())
+        paid = np.cumsum(delays)[first_success - 1]
+        assert float(np.mean(paid[succeeded])) == pytest.approx(
+            expected_backoff(p_fail, policy), rel=0.05, abs=0.05
+        )
