@@ -66,6 +66,7 @@ def _workload_summary(workload: dict) -> str:
         "stream_placements",
         "headline_placements",
         "scale_tasks",
+        "n_queries",
     )
     parts = [f"{key}={workload[key]}" for key in telling if key in workload]
     return " ".join(parts) if parts else "-"

@@ -1,0 +1,93 @@
+"""Serving a mixed placement-query stream from one content-addressed cache.
+
+A deployment rarely asks one placement question once: dashboards re-ask the
+same "where should this pipeline run?" query every refresh, autoscalers ask
+it for every pipeline variant, and incident tooling asks the fault-aware
+variant of whatever is currently degraded.  The serving layer
+(`repro.service`) answers all of them through one `PlacementService`:
+
+* every request is routed planner-or-stream by the same ``method='auto'``
+  dispatch the search layer uses, and the response says which engine ran
+  and why (``dispatch_reason``),
+* cost tables are keyed by **content fingerprints** (`repro.cache`), so a
+  structurally equal query -- rebuilt workload objects, different process,
+  same bytes -- never rebuilds tables,
+* whole responses are cached the same way: a repeated query skips the
+  engine entirely and reports ``cache_info.served_from_cache``.
+
+Run with::
+
+    python examples/placement_service.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.devices import lte, wifi_ac
+from repro.faults import DeviceFailure, FaultProfile, RetryPolicy
+from repro.scenarios import link_degradation_grid
+from repro.service import PlacementRequest, PlacementService
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+RADIO = (("D", "E"), ("D", "A"), ("N", "E"), ("N", "A"), ("E", "A"))
+
+
+def pipeline(n_tasks: int) -> TaskChain:
+    """A fresh workload object every call -- reuse is by content, not identity."""
+    tasks = [
+        RegularizedLeastSquaresTask(
+            size=60 + 40 * i, iterations=8, name=f"L{i + 1}", generate_on_host=False
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"pipeline-{n_tasks}")
+
+
+def query_stream() -> list[PlacementRequest]:
+    """The mixed stream: latency, energy, drift-robust and fault-aware asks."""
+    drift = link_degradation_grid(RADIO, start=wifi_ac(), end=lte(), n_points=4)
+    flaky = FaultProfile(device_failure=DeviceFailure(rate=0.02, rates={"A": 0.15}))
+    return [
+        PlacementRequest(workload=pipeline(5), platform="edge-cluster"),
+        PlacementRequest(workload=pipeline(5), platform="edge-cluster", objective="energy"),
+        PlacementRequest(workload=pipeline(5), platform="edge-cluster", scenario_grid=drift),
+        PlacementRequest(
+            workload=pipeline(4),
+            platform="edge-cluster",
+            faults=flaky,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+        ),
+    ]
+
+
+def run_stream(service: PlacementService, label: str) -> None:
+    start = time.perf_counter()
+    responses = [service.submit(request) for request in query_stream()]
+    elapsed = time.perf_counter() - start
+    print(f"\n{label} ({len(responses)} queries, {elapsed * 1e3:.1f} ms):")
+    for response in responses:
+        print(f"  {response.summary()}")
+
+
+def main() -> None:
+    service = PlacementService()
+
+    # Cold: every configuration builds its tables and runs an engine.
+    run_stream(service, "cold stream")
+
+    # Hot: the same *content* (freshly built objects!) -- responses and
+    # tables are served from the caches, no engine runs.
+    run_stream(service, "hot stream")
+
+    stats = service.cache_stats()
+    print(
+        f"\ntable cache: {stats.entries} entries, {stats.nbytes / 1e3:.1f} kB, "
+        f"hit rate {stats.hit_rate:.2f}"
+    )
+    responses = service.response_cache.stats()
+    print(f"response cache: {responses.entries} entries, hit rate {responses.hit_rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

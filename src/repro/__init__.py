@@ -10,6 +10,8 @@ The package is organised as:
 * :mod:`repro.measurement` -- measurement harness, datasets, noise injectors.
 * :mod:`repro.devices` -- simulated heterogeneous platform (edge devices,
   accelerators, interconnects, energy) plus a host-based executor.
+* :mod:`repro.cache` -- content fingerprints (SHA-256 over canonical
+  encodings) and the bounded LRU ``TableCache`` behind cost-table reuse.
 * :mod:`repro.tasks` -- linear-algebra workloads (GEMM / Regularised Least
   Squares loops), FLOP accounting, scientific-code task chains and DAGs.
 * :mod:`repro.offload` -- the algorithm space induced by splitting a task
@@ -21,6 +23,9 @@ The package is organised as:
 * :mod:`repro.search` -- streaming search & selection over huge placement
   spaces (top-K, incremental Pareto frontier, constraints, sharded sweeps,
   robust grid search).
+* :mod:`repro.service` -- the placement-query serving layer:
+  ``PlacementService`` routes ``PlacementRequest`` objects planner-or-stream
+  and serves repeated queries from content-addressed caches.
 * :mod:`repro.experiments` -- one runner per paper table/figure.
 * :mod:`repro.reporting` -- text tables, ASCII histograms, CSV export.
 

@@ -39,6 +39,7 @@ from .host import HostExecutor
 from .link import LinkSpec
 from .platform import Platform
 from .simulator import ExecutionRecord, SimulatedExecutor, TaskExecutionRecord
+from .tables import CostTables, build_tables
 
 __all__ = [
     "DeviceSpec",
@@ -58,6 +59,8 @@ __all__ = [
     "GraphGridCostTables",
     "GridExecutionResult",
     "execute_placements_grid",
+    "CostTables",
+    "build_tables",
     # catalog
     "xeon_8160_core",
     "nvidia_p100",

@@ -54,6 +54,7 @@ from .simulator import (
     ExecutionRecord,
     TaskExecutionRecord,
 )
+from .tables import build_tables, resolve_aliases
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports us)
     from .grid import GridCostTables
@@ -80,9 +81,9 @@ class ChainCostTables:
     in separate vectors so the host does not need to be a candidate device.
     """
 
-    # Task names only (not the TaskChain): the executor caches tables under a
-    # weakly-referenced chain key, and a strong back-reference here would keep
-    # every chain alive and defeat the cache's eviction.
+    # Task names only (not the TaskChain): tables are cached under content
+    # fingerprints, and a back-reference would keep every workload object
+    # alive for as long as its tables sit in the cache.
     task_names: tuple[str, ...]
     platform: Platform
     aliases: tuple[str, ...]
@@ -105,6 +106,9 @@ class ChainCostTables:
     #: Name of the workload the tables were built from (chain/graph name);
     #: used to attribute placement-shape errors to the offending workload.
     workload: str = ""
+    #: Content fingerprint of the build configuration (see
+    #: :func:`repro.devices.tables.build_tables`); empty for hand-built tables.
+    fingerprint: str = ""
 
     @property
     def n_tasks(self) -> int:
@@ -113,6 +117,10 @@ class ChainCostTables:
     @property
     def n_devices(self) -> int:
         return len(self.aliases)
+
+    def execute(self, placements: np.ndarray) -> "BatchExecutionResult":
+        """Evaluate a placement batch against these tables (protocol entry)."""
+        return execute_placements(self, placements)
 
     @classmethod
     def build(
@@ -125,12 +133,7 @@ class ChainCostTables:
         host and every candidate -- the same connectivity the sequential
         executor needs to run an arbitrary placement.
         """
-        aliases = tuple(devices) if devices is not None else tuple(platform.aliases)
-        if not aliases:
-            raise ValueError("at least one device alias is required")
-        if len(set(aliases)) != len(aliases):
-            raise ValueError("device aliases must be unique")
-        platform.validate_aliases(aliases)
+        aliases = resolve_aliases(platform, devices)
         host = platform.host
         costs = chain.costs()
         k, m = len(chain), len(aliases)
@@ -279,10 +282,12 @@ def build_cost_tables(
     platform: Platform,
     devices: Sequence[str] | None = None,
 ) -> ChainCostTables:
-    """Build the cost tables matching the workload type (chain or graph)."""
-    if isinstance(workload, TaskGraph):
-        return GraphCostTables.build(workload, platform, devices)
-    return ChainCostTables.build(workload, platform, devices)
+    """Build the cost tables matching the workload type (chain or graph).
+
+    Thin shim over :func:`repro.devices.tables.build_tables`, the single
+    construction path for every table family.
+    """
+    return build_tables(workload, platform, devices=devices)
 
 
 def as_placement_matrix(

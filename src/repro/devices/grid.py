@@ -41,6 +41,7 @@ from .batch import (
 )
 from .costmodel import PENALTY_MESSAGE_BYTES
 from .platform import Platform
+from .tables import build_tables, resolve_aliases
 
 __all__ = [
     "GridCostTables",
@@ -96,6 +97,9 @@ class GridCostTables:
     missing_links: frozenset = frozenset()
     #: Name of the workload the tables were built from (chain/graph name).
     workload: str = ""
+    #: Content fingerprint of the build configuration (see
+    #: :func:`repro.devices.tables.build_tables`); empty for hand-built tables.
+    fingerprint: str = ""
 
     @property
     def n_scenarios(self) -> int:
@@ -134,7 +138,12 @@ class GridCostTables:
             first_penalty_bytes=self.first_penalty_bytes,
             missing_links=self.missing_links,
             workload=self.workload,
+            fingerprint=f"{self.fingerprint}#scenario{index}" if self.fingerprint else "",
         )
+
+    def execute(self, placements: np.ndarray) -> "GridExecutionResult":
+        """Evaluate a placement batch under every condition (protocol entry)."""
+        return execute_placements_grid(self, placements)
 
 
 @dataclass(frozen=True)
@@ -162,6 +171,20 @@ def build_grid_tables(
 ) -> GridCostTables:
     """Build the condition-stacked cost tables of a workload over scenario platforms.
 
+    Thin shim over :func:`repro.devices.tables.build_tables`, the single
+    construction path for every table family; see :func:`_build_grid_tables`
+    for the vectorized builder it dispatches to.
+    """
+    return build_tables(chain, platforms, devices=devices)
+
+
+def _build_grid_tables(
+    chain: TaskChain | TaskGraph,
+    platforms: Sequence[Platform],
+    devices: Sequence[str] | None = None,
+) -> GridCostTables:
+    """The condition-stacked table builder behind :func:`build_grid_tables`.
+
     Every platform must share the base platform's *shape*: the same device
     aliases (in the same order), the same host and the same link topology --
     conditions re-parameterize a platform, they do not rewire it.  The tables
@@ -173,7 +196,7 @@ def build_grid_tables(
     tasks, plus the dependency structure).
     """
     if isinstance(chain, TaskGraph):
-        base = build_grid_tables(
+        base = _build_grid_tables(
             TaskChain(chain.tasks, name=chain.name), platforms, devices
         )
         values = {f.name: getattr(base, f.name) for f in fields(GridCostTables)}
@@ -201,12 +224,7 @@ def build_grid_tables(
                 f"expected {sorted(link_keys)} -- conditions must not rewire the topology"
             )
 
-    aliases = tuple(devices) if devices is not None else tuple(base.aliases)
-    if not aliases:
-        raise ValueError("at least one device alias is required")
-    if len(set(aliases)) != len(aliases):
-        raise ValueError("device aliases must be unique")
-    base.validate_aliases(aliases)
+    aliases = resolve_aliases(base, devices)
     host = base.host
     costs = chain.costs()
     s, k, m = len(platforms), len(chain), len(aliases)

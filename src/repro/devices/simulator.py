@@ -34,12 +34,12 @@ degenerates to the chain rule and the record is bitwise identical to
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..cache import CacheStats, TableCache, cached_fingerprint, table_key
 from ..measurement.dataset import MeasurementSet
 from ..measurement.noise import NoiseModel, default_system_noise
 from ..tasks.chain import TaskChain
@@ -124,13 +124,21 @@ class SimulatedExecutor:
     seed:
         Seed of the measurement-noise generator.
     cache_executions:
-        Keep a shared cache of (chain, placement) -> record, so measuring and
-        profiling the same algorithm space no longer executes every chain
+        Keep a shared cache of (workload, placement) -> record, so measuring
+        and profiling the same algorithm space no longer executes every chain
         twice.  Records are deterministic functions of the (immutable)
         platform, chain and placement, so caching never changes results.
     execution_cache_size:
-        Maximum number of records kept per chain (new entries beyond the cap
-        are computed but not stored).
+        Maximum number of execution records kept (least-recently-used records
+        beyond the cap are evicted).
+    table_cache:
+        The content-addressed :class:`~repro.cache.TableCache` cost tables
+        are served from.  Pass a shared instance to pool tables across
+        executors (the service layer does); defaults to a private cache.
+
+    Both caches are keyed by content fingerprints (:mod:`repro.cache`), so
+    structurally equal workloads share entries across object identities and
+    neither cache keeps the workload objects themselves alive.
     """
 
     platform: Platform
@@ -138,15 +146,13 @@ class SimulatedExecutor:
     seed: int = 0
     cache_executions: bool = True
     execution_cache_size: int = 4096
+    table_cache: TableCache | None = None
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
-        self._record_cache: "weakref.WeakKeyDictionary[TaskChain, dict]" = (
-            weakref.WeakKeyDictionary()
-        )
-        self._tables_cache: "weakref.WeakKeyDictionary[TaskChain, dict]" = (
-            weakref.WeakKeyDictionary()
-        )
+        self._record_cache = TableCache(max_entries=max(1, self.execution_cache_size))
+        if self.table_cache is None:
+            self.table_cache = TableCache()
 
     # ------------------------------------------------------------------
     def _normalise_placement(self, chain: TaskChain, placement: Sequence[str] | str) -> tuple[str, ...]:
@@ -184,21 +190,28 @@ class SimulatedExecutor:
         aliases = self._normalise_placement(chain, placement)
         if not self.cache_executions:
             return self._execute_uncached(chain, aliases)
-        per_chain = self._record_cache.get(chain)
-        if per_chain is None:
-            per_chain = {}
-            self._record_cache[chain] = per_chain
-        record = per_chain.get(aliases)
-        if record is None:
-            record = self._execute_uncached(chain, aliases)
-            if len(per_chain) < self.execution_cache_size:
-                per_chain[aliases] = record
-        return record
+        key = ("chain", cached_fingerprint(chain), aliases)
+        return self._record_cache.get_or_build(
+            key, lambda: self._execute_uncached(chain, aliases)
+        )
 
-    def clear_execution_cache(self) -> None:
-        """Drop every cached execution record and cost table."""
-        self._record_cache.clear()
-        self._tables_cache.clear()
+    def clear_execution_cache(self) -> dict[str, int]:
+        """Drop every cached execution record and cost table.
+
+        Returns how many entries were dropped from each cache, e.g.
+        ``{"records": 12, "tables": 3}``.
+        """
+        return {
+            "records": self._record_cache.clear(),
+            "tables": self.table_cache.clear(),
+        }
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters of the record and table caches."""
+        return {
+            "records": self._record_cache.stats(),
+            "tables": self.table_cache.stats(),
+        }
 
     def _execute_uncached(self, chain: TaskChain, aliases: tuple[str, ...]) -> ExecutionRecord:
         host = self.platform.host
@@ -296,16 +309,10 @@ class SimulatedExecutor:
         aliases = self._normalise_graph_placement(graph, placement)
         if not self.cache_executions:
             return self._execute_graph_uncached(graph, aliases)
-        per_graph = self._record_cache.get(graph)
-        if per_graph is None:
-            per_graph = {}
-            self._record_cache[graph] = per_graph
-        record = per_graph.get(aliases)
-        if record is None:
-            record = self._execute_graph_uncached(graph, aliases)
-            if len(per_graph) < self.execution_cache_size:
-                per_graph[aliases] = record
-        return record
+        key = ("graph", cached_fingerprint(graph), aliases)
+        return self._record_cache.get_or_build(
+            key, lambda: self._execute_graph_uncached(graph, aliases)
+        )
 
     def _execute_graph_uncached(self, graph: TaskGraph, aliases: tuple[str, ...]) -> ExecutionRecord:
         host = self.platform.host
@@ -420,11 +427,9 @@ class SimulatedExecutor:
     # -- batch engine ---------------------------------------------------
     @staticmethod
     def _check_fault_args(retry, faults, timeout) -> None:
-        if retry is None and (faults is not None or timeout is not None):
-            raise ValueError(
-                "fault-aware evaluation needs retry=RetryPolicy(...); "
-                "got faults/timeout without a retry policy"
-            )
+        from .tables import check_fault_args
+
+        check_fault_args(retry, faults, timeout)
 
     def cost_tables(
         self,
@@ -442,31 +447,75 @@ class SimulatedExecutor:
         entry point below routes through the DAG engine automatically.  With
         ``retry=`` given, returns fault-augmented
         :class:`~repro.faults.tables.FaultChainCostTables` instead (``faults``
-        defaulting to the platform's attached profile), cached under the full
-        (devices, profile, retry, timeout) key.
+        defaulting to the platform's attached profile).
+
+        Tables come from :func:`repro.devices.tables.build_tables` and are
+        served from the executor's content-addressed :attr:`table_cache`, so
+        a structurally equal configuration never rebuilds.
         """
-        from .batch import build_cost_tables
+        from .tables import build_tables
 
         self._check_fault_args(retry, faults, timeout)
-        key = tuple(devices) if devices is not None else tuple(self.platform.aliases)
-        if retry is not None:
-            from ..faults.tables import build_fault_tables, resolve_fault_profile
+        key = table_key(
+            chain, self.platform, devices=devices, faults=faults, retry=retry, timeout=timeout
+        )
+        return self.table_cache.get_or_build(
+            key,
+            lambda: build_tables(
+                chain, self.platform, devices=devices, faults=faults, retry=retry, timeout=timeout
+            ),
+        )
 
-            key = (key, resolve_fault_profile(self.platform, faults), retry, timeout)
-        per_chain = self._tables_cache.get(chain)
-        if per_chain is None:
-            per_chain = {}
-            self._tables_cache[chain] = per_chain
-        tables = per_chain.get(key)
-        if tables is None:
-            if retry is not None:
-                tables = build_fault_tables(
-                    chain, self.platform, key[0], retry=retry, faults=faults, timeout=timeout
-                )
-            else:
-                tables = build_cost_tables(chain, self.platform, key)
-            per_chain[key] = tables
-        return tables
+    def grid_cost_tables(
+        self,
+        chain: TaskChain | TaskGraph,
+        scenarios,
+        devices: Sequence[str] | None = None,
+        *,
+        faults=None,
+        retry=None,
+        timeout=None,
+    ):
+        """Cached condition-stacked tables of a workload over a scenario grid.
+
+        ``scenarios`` is a :class:`~repro.scenarios.grid.ScenarioGrid`, a
+        sequence of :class:`~repro.scenarios.conditions.Scenario` points, or a
+        sequence of already-derived :class:`Platform` objects.  Returns
+        :class:`~repro.devices.grid.GridCostTables`
+        (:class:`~repro.faults.tables.FaultGridCostTables` with ``retry=``),
+        served from the same content-addressed :attr:`table_cache` as
+        :meth:`cost_tables` -- a sweep over scenarios rebuilds only what
+        changed.
+        """
+        from .tables import build_tables
+
+        self._check_fault_args(retry, faults, timeout)
+        platform_arg, scenario_arg = self.platform, scenarios
+        if not hasattr(scenarios, "platforms"):
+            seq = list(scenarios)
+            if seq and isinstance(seq[0], Platform):
+                platform_arg, scenario_arg = seq, None
+        key = table_key(
+            chain,
+            platform_arg,
+            devices=devices,
+            scenarios=scenario_arg,
+            faults=faults,
+            retry=retry,
+            timeout=timeout,
+        )
+        return self.table_cache.get_or_build(
+            key,
+            lambda: build_tables(
+                chain,
+                platform_arg,
+                devices=devices,
+                scenarios=scenario_arg,
+                faults=faults,
+                retry=retry,
+                timeout=timeout,
+            ),
+        )
 
     def plan(
         self,

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..devices.batch import ChainCostTables, GraphCostTables, build_cost_tables
 from ..devices.grid import GraphGridCostTables, GridCostTables, build_grid_tables
+from ..devices.tables import build_tables
 from .models import FaultProfile
 from .retry import RetryPolicy, TimeoutPolicy
 
@@ -101,6 +102,15 @@ class FaultChainCostTables:
     node_survival: np.ndarray  # (k, m)
     edge_survival: np.ndarray  # (m, m)
     first_edge_survival: np.ndarray  # (m,)
+    #: Content fingerprint of the build configuration (see
+    #: :func:`repro.devices.tables.build_tables`); empty for hand-built tables.
+    fingerprint: str = ""
+
+    def execute(self, placements: np.ndarray):
+        """Evaluate a placement batch under faults (protocol entry)."""
+        from .engine import execute_fault_placements
+
+        return execute_fault_placements(self, placements)
 
     @property
     def is_graph(self) -> bool:
@@ -144,13 +154,35 @@ def build_fault_tables(
 
     ``faults`` defaults to the platform's attached profile (or the fault-free
     profile if it has none); ``timeout`` defaults to no per-attempt budget.
+    Thin shim over :func:`repro.devices.tables.build_tables`, the single
+    construction path for every table family.
     """
+    return build_tables(
+        workload, platform, devices=devices, faults=faults, retry=retry, timeout=timeout
+    )
+
+
+def _check_policies(retry: RetryPolicy, timeout: TimeoutPolicy | None) -> TimeoutPolicy:
     if not isinstance(retry, RetryPolicy):
         raise TypeError(f"retry must be a RetryPolicy, got {retry!r}")
     if timeout is None:
-        timeout = TimeoutPolicy()
-    elif not isinstance(timeout, TimeoutPolicy):
+        return TimeoutPolicy()
+    if not isinstance(timeout, TimeoutPolicy):
         raise TypeError(f"timeout must be a TimeoutPolicy or None, got {timeout!r}")
+    return timeout
+
+
+def _build_fault_tables(
+    workload: "TaskChain | TaskGraph",
+    platform: "Platform",
+    devices: Sequence[str] | None = None,
+    *,
+    retry: RetryPolicy,
+    faults: FaultProfile | None = None,
+    timeout: TimeoutPolicy | None = None,
+) -> FaultChainCostTables:
+    """The fault-table builder behind :func:`build_fault_tables`."""
+    timeout = _check_policies(retry, timeout)
     profile = resolve_fault_profile(platform, faults)
     base = build_cost_tables(workload, platform, devices)
     node, edge, first_edge = _survival_tables(base, profile, workload.costs(), base.busy)
@@ -181,6 +213,15 @@ class FaultGridCostTables:
     node_survival: np.ndarray  # (s, k, m)
     edge_survival: np.ndarray  # (s, m, m)
     first_edge_survival: np.ndarray  # (s, m)
+    #: Content fingerprint of the build configuration (see
+    #: :func:`repro.devices.tables.build_tables`); empty for hand-built tables.
+    fingerprint: str = ""
+
+    def execute(self, placements: np.ndarray):
+        """Evaluate a placement batch under every condition and fault profile."""
+        from .engine import execute_fault_placements_grid
+
+        return execute_fault_placements_grid(self, placements)
 
     @property
     def is_graph(self) -> bool:
@@ -216,6 +257,7 @@ class FaultGridCostTables:
             node_survival=self.node_survival[index],
             edge_survival=self.edge_survival[index],
             first_edge_survival=self.first_edge_survival[index],
+            fingerprint=f"{self.fingerprint}#scenario{index}" if self.fingerprint else "",
         )
 
 
@@ -234,13 +276,26 @@ def build_fault_grid_tables(
     attached profile -- the shape produced by the failure-regime condition
     axes -- so a single grid sweep spans fault regimes the same way it spans
     link or clock drift.
+
+    Thin shim over :func:`repro.devices.tables.build_tables`, the single
+    construction path for every table family.
     """
-    if not isinstance(retry, RetryPolicy):
-        raise TypeError(f"retry must be a RetryPolicy, got {retry!r}")
-    if timeout is None:
-        timeout = TimeoutPolicy()
-    elif not isinstance(timeout, TimeoutPolicy):
-        raise TypeError(f"timeout must be a TimeoutPolicy or None, got {timeout!r}")
+    return build_tables(
+        workload, platforms, devices=devices, faults=faults, retry=retry, timeout=timeout
+    )
+
+
+def _build_fault_grid_tables(
+    workload: "TaskChain | TaskGraph",
+    platforms: Sequence["Platform"],
+    devices: Sequence[str] | None = None,
+    *,
+    retry: RetryPolicy,
+    faults: FaultProfile | None = None,
+    timeout: TimeoutPolicy | None = None,
+) -> FaultGridCostTables:
+    """The fault-grid builder behind :func:`build_fault_grid_tables`."""
+    timeout = _check_policies(retry, timeout)
     base = build_grid_tables(workload, platforms, devices)
     profiles = tuple(resolve_fault_profile(platform, faults) for platform in base.platforms)
     costs = workload.costs()

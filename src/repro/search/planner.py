@@ -852,7 +852,7 @@ def plan_grid(
     placement.  Non-linear graphs and non-plannable bases raise with a
     pointer to ``search_grid``.
     """
-    from ..devices.grid import build_grid_tables, execute_placements_grid
+    from ..devices.grid import execute_placements_grid
     from .robust import (
         ExpectedValueObjective,
         RegretObjective,
@@ -878,8 +878,17 @@ def plan_grid(
             "to search_grid's streaming enumeration"
         )
 
+    from ..scenarios import ScenarioGrid
+
     platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
-    tables = build_grid_tables(workload, platforms, devices)
+    # Served from the executor's content-addressed table cache: keyed by the
+    # (base platform, scenario grid) fingerprints when a grid is given, so a
+    # sweep re-planning the same configuration skips the rebuild.
+    tables = executor.grid_cost_tables(
+        workload,
+        scenarios if isinstance(scenarios, ScenarioGrid) else platforms,
+        devices,
+    )
     reason = _grid_chain_tables(workload, tables)
     if reason is not None:
         raise ValueError(reason)

@@ -639,7 +639,19 @@ def search_grid(
         )
     platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
     fault_spec = (faults, retry, timeout) if retry is not None else None
-    tables = _build_shard_tables(chain, platforms, devices, fault_spec)
+    # The driving process serves its tables from the executor's shared
+    # content-addressed cache (shard workers, living in other processes,
+    # rebuild locally via the same build_tables path).
+    from ..scenarios import ScenarioGrid
+
+    tables = executor.grid_cost_tables(
+        chain,
+        scenarios if isinstance(scenarios, ScenarioGrid) else platforms,
+        devices,
+        faults=faults,
+        retry=retry,
+        timeout=timeout,
+    )
     total = space_size(tables.n_tasks, tables.n_devices)
     if stop is None:
         stop = total

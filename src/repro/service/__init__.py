@@ -1,0 +1,27 @@
+"""repro.service -- the placement-query serving layer.
+
+A :class:`PlacementService` answers :class:`PlacementRequest` queries --
+"place this workload on that platform under this objective" -- by routing
+through the exact DP planner or the streaming enumerator (the same
+``method='auto'`` dispatch the search layer uses) while serving every cost
+table from one shared content-addressed :class:`~repro.cache.TableCache`.
+See :mod:`repro.service.placement` for the full routing contract.
+"""
+
+from .placement import (
+    METHODS,
+    OBJECTIVE_METRICS,
+    CacheInfo,
+    PlacementRequest,
+    PlacementResponse,
+    PlacementService,
+)
+
+__all__ = [
+    "METHODS",
+    "OBJECTIVE_METRICS",
+    "CacheInfo",
+    "PlacementRequest",
+    "PlacementResponse",
+    "PlacementService",
+]

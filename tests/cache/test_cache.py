@@ -1,0 +1,289 @@
+"""Content-fingerprint and TableCache contracts.
+
+The cache layer's whole promise is *identity-free* reuse: two structurally
+equal configurations must fingerprint identically -- across object
+identities, processes and non-semantic insertion orders -- while any single
+field change must produce a different digest.  Hypothesis drives the
+single-field perturbations; a subprocess pins cross-process stability
+(a salted ``hash()`` sneaking in would fail it immediately).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from factories import random_chain, random_graph, random_platform
+from repro.cache import (
+    CacheStats,
+    TableCache,
+    cached_fingerprint,
+    canonical,
+    estimate_nbytes,
+    fingerprint,
+    table_key,
+)
+from repro.devices import DeviceSpec, Platform
+from repro.faults import FaultProfile, RetryPolicy, TimeoutPolicy
+from repro.scenarios import Scenario, ScenarioGrid
+from repro.tasks import GemmLoopTask, TaskChain, TaskGraph
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(None) is None
+        assert canonical(3) == 3
+        assert canonical(True) is True
+        assert canonical("x") == "x"
+
+    def test_floats_are_bitwise_exact(self):
+        assert canonical(0.1) == f"float:{(0.1).hex()}"
+        assert canonical(float("nan")) == "float:nan"
+        assert canonical(float("inf")) == f"float:{float('inf').hex()}"
+        # 0.1 + 0.2 != 0.3 bitwise: the canonical forms must differ too.
+        assert canonical(0.1 + 0.2) != canonical(0.3)
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert canonical(np.float64(0.25)) == canonical(0.25)
+        assert canonical(np.int64(7)) == canonical(7)
+
+    def test_mapping_order_is_not_semantic(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_unknown_types_raise(self):
+        with pytest.raises(TypeError, match="cannot canonicalize"):
+            canonical(object())
+
+
+class TestFingerprintEquality:
+    def test_structurally_equal_platforms_fingerprint_identically(self):
+        one = random_platform(np.random.default_rng(11), n_devices=3)
+        two = random_platform(np.random.default_rng(11), n_devices=3)
+        assert one is not two
+        assert fingerprint(one) == fingerprint(two)
+
+    def test_structurally_equal_chains_fingerprint_identically(self):
+        one = random_chain(np.random.default_rng(5), n_tasks=4)
+        two = random_chain(np.random.default_rng(5), n_tasks=4)
+        assert fingerprint(one) == fingerprint(two)
+
+    def test_policy_and_profile_fingerprints(self):
+        assert fingerprint(RetryPolicy(max_attempts=3)) == fingerprint(
+            RetryPolicy(max_attempts=3)
+        )
+        assert fingerprint(RetryPolicy(max_attempts=3)) != fingerprint(
+            RetryPolicy(max_attempts=2)
+        )
+        assert fingerprint(FaultProfile()) == fingerprint(FaultProfile())
+        assert fingerprint(TimeoutPolicy()) == fingerprint(TimeoutPolicy())
+
+    def test_graph_node_insertion_order_is_not_semantic(self):
+        tasks = [GemmLoopTask(16 + 8 * i, name=f"L{i + 1}") for i in range(4)]
+        edges = [("L1", "L3"), ("L2", "L3"), ("L3", "L4")]
+        forward = TaskGraph(tasks, edges=edges, name="g")
+        backward = TaskGraph(list(reversed(tasks)), edges=edges, name="g")
+        assert fingerprint(forward) == fingerprint(backward)
+
+    def test_platform_device_order_is_semantic(self):
+        # Alias order defines the device axis of every table built from the
+        # platform, so reordering devices must change the fingerprint.
+        base = random_platform(np.random.default_rng(3), n_devices=3)
+        reordered = Platform(
+            devices=dict(reversed(list(base.devices.items()))),
+            links=dict(base.links),
+            host=base.host,
+            name=base.name,
+        )
+        assert fingerprint(base) != fingerprint(reordered)
+
+    def test_scenario_grid_row_order_is_semantic(self):
+        a = Scenario("a", settings=())
+        b = Scenario("b", settings=())
+        assert fingerprint(ScenarioGrid(scenarios=(a, b))) != fingerprint(
+            ScenarioGrid(scenarios=(b, a))
+        )
+
+    def test_cached_fingerprint_memoizes_on_the_instance(self):
+        chain = random_chain(np.random.default_rng(0), n_tasks=3)
+        first = cached_fingerprint(chain)
+        assert chain._repro_content_fingerprint == first
+        assert cached_fingerprint(chain) == first == fingerprint(chain)
+
+
+class TestFingerprintSensitivity:
+    """Any single field change must alter the digest (hypothesis-driven)."""
+
+    @given(seed=st.integers(0, 2**32 - 1), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_single_device_field_change_alters_platform_fingerprint(self, seed, data):
+        platform = random_platform(np.random.default_rng(seed), n_devices=3)
+        alias = data.draw(st.sampled_from(sorted(platform.devices)))
+        numeric = [
+            f.name
+            for f in dataclasses.fields(DeviceSpec)
+            if isinstance(getattr(platform.devices[alias], f.name), float)
+        ]
+        field = data.draw(st.sampled_from(numeric))
+        spec = platform.devices[alias]
+        bumped = dataclasses.replace(spec, **{field: getattr(spec, field) * 1.5 + 1e-9})
+        mutated = Platform(
+            devices={**platform.devices, alias: bumped},
+            links=dict(platform.links),
+            host=platform.host,
+            name=platform.name,
+        )
+        assert fingerprint(mutated) != fingerprint(platform)
+
+    @given(seed=st.integers(0, 2**32 - 1), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_single_task_change_alters_chain_fingerprint(self, seed, data):
+        chain = random_chain(np.random.default_rng(seed), n_tasks=4)
+        index = data.draw(st.integers(0, 3))
+        tasks = list(chain.tasks)
+        old = tasks[index]
+        tasks[index] = GemmLoopTask(
+            (old.m + 1, old.k, old.n), iterations=old.iterations, name=old.name
+        )
+        assert fingerprint(TaskChain(tasks, name=chain.name)) != fingerprint(chain)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_edge_change_alters_graph_fingerprint(self, seed):
+        graph = random_graph(np.random.default_rng(seed), n_tasks=4, edge_probability=0.4)
+        names = graph.task_names
+        flipped = (names[0], names[-1])
+        edges = [e for e in graph.edges if e != flipped]
+        if len(edges) == len(graph.edges):
+            edges = list(graph.edges) + [flipped]
+        mutated = TaskGraph(list(graph.tasks), edges=edges, name=graph.name)
+        assert fingerprint(mutated) != fingerprint(graph)
+
+    def test_retry_policy_field_changes_table_key(self):
+        chain = random_chain(np.random.default_rng(1), n_tasks=3)
+        platform = random_platform(np.random.default_rng(1), n_devices=2)
+        base = table_key(chain, platform, retry=RetryPolicy(max_attempts=2))
+        assert base != table_key(chain, platform, retry=RetryPolicy(max_attempts=3))
+        assert base != table_key(chain, platform)
+        assert base != table_key(
+            chain, platform, retry=RetryPolicy(max_attempts=2), timeout=TimeoutPolicy(1.0)
+        )
+
+
+class TestProcessStability:
+    def test_fingerprints_survive_process_restarts(self):
+        """The digest of a deterministic configuration is process-invariant."""
+        snippet = textwrap.dedent(
+            """
+            import numpy as np
+            from factories import random_chain, random_graph, random_platform
+            from repro.cache import fingerprint, table_key
+            from repro.faults import RetryPolicy
+
+            platform = random_platform(np.random.default_rng(42), n_devices=3)
+            chain = random_chain(np.random.default_rng(42), n_tasks=4)
+            graph = random_graph(np.random.default_rng(42), n_tasks=4)
+            print(fingerprint(platform))
+            print(fingerprint(chain))
+            print(fingerprint(graph))
+            print(table_key(chain, platform, retry=RetryPolicy(max_attempts=2)))
+            """
+        )
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo, "src"), os.path.join(repo, "tests")]
+        )
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.splitlines()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        # And the parent process agrees with the children.
+        platform = random_platform(np.random.default_rng(42), n_devices=3)
+        chain = random_chain(np.random.default_rng(42), n_tasks=4)
+        assert runs[0][0] == fingerprint(platform)
+        assert runs[0][1] == fingerprint(chain)
+
+
+class TestTableCache:
+    def test_counters_track_hits_and_misses(self):
+        cache = TableCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = TableCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_byte_cap_evicts_but_never_the_newest_entry(self):
+        cache = TableCache(max_entries=100, max_bytes=1)
+        big = np.zeros(1024)
+        cache.put("a", big)
+        assert "a" in cache  # a single oversized entry still caches
+        cache.put("b", big)
+        assert "a" not in cache and "b" in cache
+
+    def test_get_or_build_builds_once(self):
+        cache = TableCache()
+        calls = []
+        build = lambda: calls.append(1) or "built"  # noqa: E731
+        assert cache.get_or_build("k", build) == "built"
+        assert cache.get_or_build("k", build) == "built"
+        assert len(calls) == 1
+
+    def test_clear_reports_drops_and_keeps_counters(self):
+        cache = TableCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats().hits == 1  # counters survive a clear
+        assert cache.clear() == 0
+
+    def test_put_replaces_in_place(self):
+        cache = TableCache(max_entries=2)
+        cache.put("a", np.zeros(8))
+        before = cache.stats().nbytes
+        cache.put("a", np.zeros(16))
+        assert len(cache) == 1
+        assert cache.stats().nbytes > before
+
+    def test_invalid_caps_raise(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            TableCache(max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            TableCache(max_bytes=0)
+
+    def test_estimate_nbytes_counts_arrays(self):
+        assert estimate_nbytes(np.zeros(100)) >= 800
+        assert estimate_nbytes((np.zeros(10), np.zeros(10))) >= 160
+
+    def test_stats_snapshot_is_frozen(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == 0.75
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            stats.hits = 5

@@ -526,16 +526,21 @@ class TestExecutionCache:
         labels = ["DDD", "DDA", "DAD", "ADD"]
         for label in labels:
             executor.execute(chain, label)
-        cached = executor._record_cache[chain]
-        assert len(cached) == 2  # entries beyond the cap are not stored
+        stats = executor.cache_stats()["records"]
+        assert stats.entries == 2  # LRU-evicted down to the cap
+        assert stats.evictions == 2
+        # The two most recent records survived; older ones were evicted.
+        assert executor.execute(chain, "ADD") is executor.execute(chain, "ADD")
 
     def test_clear_execution_cache(self, platform, chain):
         executor = SimulatedExecutor(platform, seed=0)
         first = executor.execute(chain, "DDD")
         tables = executor.cost_tables(chain)
-        executor.clear_execution_cache()
+        dropped = executor.clear_execution_cache()
+        assert dropped == {"records": 1, "tables": 1}
         assert executor.execute(chain, "DDD") is not first
         assert executor.cost_tables(chain) is not tables
+        assert executor.clear_execution_cache() == {"records": 1, "tables": 1}
 
     def test_cost_tables_cached_per_chain_and_devices(self, platform, chain):
         executor = SimulatedExecutor(platform, seed=0)
@@ -545,18 +550,28 @@ class TestExecutionCache:
 
     def test_caches_release_dead_chains(self, platform):
         import gc
+        import weakref
 
         executor = SimulatedExecutor(platform, seed=0)
         chain = table1_chain(loop_size=1)
+        ref = weakref.ref(chain)
         executor.execute(chain, "DDD")
         executor.cost_tables(chain)
-        assert len(executor._record_cache) == 1
-        assert len(executor._tables_cache) == 1
         del chain
         gc.collect()
-        # Nothing (in particular not the cached tables) keeps the chain alive.
-        assert len(executor._record_cache) == 0
-        assert len(executor._tables_cache) == 0
+        # The content-addressed caches keep records/tables, but nothing (in
+        # particular not the cached tables) keeps the chain object alive.
+        assert ref() is None
+        assert executor.cache_stats()["records"].entries == 1
+        assert executor.cache_stats()["tables"].entries == 1
+
+    def test_structurally_equal_chains_share_cache_entries(self, platform):
+        executor = SimulatedExecutor(platform, seed=0)
+        first = table1_chain(loop_size=1)
+        second = table1_chain(loop_size=1)
+        record = executor.execute(first, "DDA")
+        assert executor.execute(second, "DDA") is record
+        assert executor.cost_tables(second) is executor.cost_tables(first)
 
     def test_caching_never_changes_results(self, platform, chain):
         cached = SimulatedExecutor(platform, seed=4)

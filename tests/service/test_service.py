@@ -1,0 +1,297 @@
+"""The placement-query serving layer: routing, caching, and error contracts.
+
+The service must (a) agree bitwise with the engines it routes to -- the
+planner and the streaming enumerator return the same winner with the same
+value, whichever ``method`` picked them; (b) serve repeated queries from the
+shared content-addressed table cache; and (c) reject malformed requests with
+errors that name the offending value *and* the available options, mirroring
+``get_platform``'s style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from factories import random_chain, random_graph, random_platform
+from repro.cache import TableCache
+from repro.devices import edge_cluster_platform, lte, wifi_ac
+from repro.faults import RetryPolicy, TimeoutPolicy
+from repro.scenarios import link_degradation_grid
+from repro.search import EnergyBudgetConstraint
+from repro.service import (
+    METHODS,
+    OBJECTIVE_METRICS,
+    CacheInfo,
+    PlacementRequest,
+    PlacementResponse,
+    PlacementService,
+)
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+RADIO = (("D", "E"), ("D", "A"), ("N", "E"), ("N", "A"), ("E", "A"))
+
+
+def drift_chain(n_tasks: int = 4) -> TaskChain:
+    tasks = [
+        RegularizedLeastSquaresTask(
+            size=60 + 80 * i, iterations=12, name=f"L{i + 1}", generate_on_host=False
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"service-test-{n_tasks}")
+
+
+@pytest.fixture(scope="module")
+def service():
+    return PlacementService()
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return drift_chain()
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return link_degradation_grid(RADIO, start=wifi_ac(), end=lte(), n_points=3)
+
+
+class TestPlainRouting:
+    def test_auto_routes_top1_requests_to_the_planner(self, service, chain):
+        response = service.submit(PlacementRequest(workload=chain, platform="edge-cluster"))
+        assert isinstance(response, PlacementResponse)
+        assert response.engine == "planner"
+        assert "DP" in response.dispatch_reason
+        assert response.objective == "time"
+        assert len(response.placement) == 4
+        assert response.plan == "".join(response.placement)
+        assert response.timing_s > 0
+
+    def test_engines_agree_bitwise(self, service, chain):
+        auto = service.submit(PlacementRequest(workload=chain, platform="edge-cluster"))
+        stream = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster", method="stream")
+        )
+        planner = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster", method="planner")
+        )
+        assert stream.engine == "stream" and planner.engine == "planner"
+        assert auto.plan == stream.plan == planner.plan
+        assert auto.value == stream.value == planner.value  # bitwise
+
+    def test_constraints_fall_back_to_streaming(self, service, chain):
+        constrained = PlacementRequest(
+            workload=chain,
+            platform="edge-cluster",
+            constraints=(EnergyBudgetConstraint(max_energy_j=1e6),),
+        )
+        response = service.submit(constrained)
+        assert response.engine == "stream"
+        with pytest.raises(ValueError, match="method='planner' cannot serve"):
+            service.submit(
+                PlacementRequest(
+                    workload=chain,
+                    platform="edge-cluster",
+                    constraints=(EnergyBudgetConstraint(max_energy_j=1e6),),
+                    method="planner",
+                )
+            )
+
+    def test_graph_workloads_route_too(self, service):
+        graph = random_graph(np.random.default_rng(2), n_tasks=4)
+        platform = random_platform(np.random.default_rng(2), n_devices=3)
+        auto = service.submit(PlacementRequest(workload=graph, platform=platform))
+        stream = service.submit(
+            PlacementRequest(workload=graph, platform=platform, method="stream")
+        )
+        assert auto.plan == stream.plan and auto.value == stream.value
+
+    def test_fault_requests_stream_with_a_reason(self, service, chain):
+        response = service.submit(
+            PlacementRequest(
+                workload=chain, platform="edge-cluster", retry=RetryPolicy(max_attempts=2)
+            )
+        )
+        assert response.engine == "stream"
+        assert "planner boundary" in response.dispatch_reason
+        with pytest.raises(ValueError, match="fault-aware"):
+            service.submit(
+                PlacementRequest(
+                    workload=chain,
+                    platform="edge-cluster",
+                    retry=RetryPolicy(max_attempts=2),
+                    method="planner",
+                )
+            )
+
+
+class TestGridRouting:
+    def test_auto_routes_to_the_robust_planner(self, service, chain, grid):
+        response = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster", scenario_grid=grid)
+        )
+        assert response.engine == "planner"
+        assert response.objective == "worst-time"
+
+    def test_grid_engines_agree_bitwise(self, service, chain, grid):
+        auto = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster", scenario_grid=grid)
+        )
+        stream = service.submit(
+            PlacementRequest(
+                workload=chain, platform="edge-cluster", scenario_grid=grid, method="stream"
+            )
+        )
+        assert stream.engine == "stream"
+        assert auto.plan == stream.plan and auto.value == stream.value
+
+    def test_fault_grid_requests_stream(self, service, chain, grid):
+        response = service.submit(
+            PlacementRequest(
+                workload=chain,
+                platform="edge-cluster",
+                scenario_grid=grid,
+                retry=RetryPolicy(max_attempts=2),
+                timeout=TimeoutPolicy(10.0),
+            )
+        )
+        assert response.engine == "stream"
+        with pytest.raises(ValueError, match="method='planner' cannot serve"):
+            service.submit(
+                PlacementRequest(
+                    workload=chain,
+                    platform="edge-cluster",
+                    scenario_grid=grid,
+                    retry=RetryPolicy(max_attempts=2),
+                    method="planner",
+                )
+            )
+
+
+class TestCacheBehaviour:
+    def test_repeated_queries_hit_the_cache(self, chain):
+        service = PlacementService()
+        request = PlacementRequest(workload=chain, platform="edge-cluster")
+        cold = service.submit(request)
+        hot = service.submit(request)
+        assert cold.cache_info.misses > 0 and not cold.cache_info.served_from_cache
+        assert hot.cache_info.misses == 0 and hot.cache_info.served_from_cache
+        # Resubmitting a *structurally equal* request also hits: the cache is
+        # content-addressed, not identity-addressed.
+        clone = PlacementRequest(workload=drift_chain(), platform="edge-cluster")
+        assert service.submit(clone).cache_info.served_from_cache
+
+    def test_engines_share_tables_across_methods(self, chain):
+        service = PlacementService()
+        service.submit(PlacementRequest(workload=chain, platform="edge-cluster"))
+        streamed = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster", method="stream")
+        )
+        assert streamed.cache_info.served_from_cache
+
+    def test_services_can_pool_one_cache(self, chain):
+        shared = TableCache()
+        first = PlacementService(table_cache=shared)
+        second = PlacementService(table_cache=shared)
+        first.submit(PlacementRequest(workload=chain, platform="edge-cluster"))
+        assert (
+            second.submit(PlacementRequest(workload=chain, platform="edge-cluster"))
+            .cache_info.served_from_cache
+        )
+
+    def test_cache_stats_and_clear(self, chain):
+        service = PlacementService()
+        service.submit(PlacementRequest(workload=chain, platform="edge-cluster"))
+        assert service.cache_stats().entries > 0
+        assert service.clear_cache() > 0
+        assert service.cache_stats().entries == 0
+
+    def test_executor_reuse_across_equal_platforms(self, service):
+        # Two get_platform calls build distinct objects; the service keys
+        # executors by content, so they share one executor.
+        assert service.executor_for("edge-cluster") is service.executor_for(
+            edge_cluster_platform()
+        )
+
+
+class TestValidationErrors:
+    """Errors name the offending value and list the available options."""
+
+    def test_unknown_method(self, chain):
+        with pytest.raises(ValueError, match=r"unknown method 'fastest'; available: \['auto', 'planner', 'stream'\]"):
+            PlacementRequest(workload=chain, platform="edge-cluster", method="fastest")
+        assert METHODS == ("auto", "planner", "stream")
+
+    def test_unknown_objective(self, chain):
+        with pytest.raises(ValueError, match=r"unknown objective 'latency'; available: \['cost', 'energy', 'time'\]"):
+            PlacementRequest(workload=chain, platform="edge-cluster", objective="latency")
+        assert OBJECTIVE_METRICS == ("cost", "energy", "time")
+
+    def test_unknown_platform_via_catalog(self, service, chain):
+        with pytest.raises(KeyError, match=r"unknown platform 'tpu-pod'; available: \["):
+            service.submit(PlacementRequest(workload=chain, platform="tpu-pod"))
+
+    def test_unknown_platform_via_custom_registry(self, chain):
+        platform = random_platform(np.random.default_rng(0), n_devices=2)
+        service = PlacementService(platforms={"lab": platform})
+        assert service.submit(PlacementRequest(workload=chain, platform="lab")).plan
+        with pytest.raises(KeyError, match=r"unknown platform 'prod'; available: \['lab'\]"):
+            service.submit(PlacementRequest(workload=chain, platform="prod"))
+
+    def test_platform_sequence_registry(self, chain):
+        service = PlacementService(platforms=[edge_cluster_platform()])
+        response = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster")
+        )
+        assert response.plan
+
+    def test_bad_workload_and_platform_types(self, chain):
+        with pytest.raises(TypeError, match="workload must be a TaskChain or TaskGraph"):
+            PlacementRequest(workload="chain", platform="edge-cluster")
+        with pytest.raises(TypeError, match="platform must be a Platform"):
+            PlacementRequest(workload=chain, platform=42)
+        with pytest.raises(TypeError, match="scenario_grid must be a ScenarioGrid"):
+            PlacementRequest(workload=chain, platform="edge-cluster", scenario_grid="grid")
+
+    def test_bad_objective_type(self, chain):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            PlacementRequest(workload=chain, platform="edge-cluster", objective=3.5)
+
+    def test_faults_without_retry(self, chain):
+        with pytest.raises(ValueError, match="retry=RetryPolicy"):
+            PlacementRequest(
+                workload=chain, platform="edge-cluster", timeout=TimeoutPolicy(1.0)
+            )
+
+    def test_submit_rejects_non_requests(self, service):
+        with pytest.raises(TypeError, match="PlacementRequest"):
+            service.submit({"workload": "x"})
+
+    def test_non_platform_registry_values_raise(self):
+        with pytest.raises(TypeError, match="must be a Platform"):
+            PlacementService(platforms={"lab": "not-a-platform"})
+
+
+class TestResponseSurface:
+    def test_summary_mentions_plan_value_and_cache(self, chain):
+        service = PlacementService()
+        request = PlacementRequest(workload=chain, platform="edge-cluster")
+        service.submit(request)
+        summary = service.submit(request).summary()
+        assert "cache hit" in summary and "planner" not in summary.split("via")[0]
+
+    def test_cache_info_fields(self, chain):
+        service = PlacementService()
+        info = service.submit(
+            PlacementRequest(workload=chain, platform="edge-cluster")
+        ).cache_info
+        assert isinstance(info, CacheInfo)
+        assert info.entries >= 1 and info.nbytes > 0 and info.evictions == 0
+
+    def test_n_requests_counts(self, chain):
+        service = PlacementService()
+        request = PlacementRequest(workload=chain, platform="edge-cluster")
+        service.submit(request)
+        service.submit(request)
+        assert service.n_requests == 2
