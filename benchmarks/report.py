@@ -62,6 +62,7 @@ def _workload_summary(workload: dict) -> str:
         "n_tasks",
         "n_placements",
         "n_scenarios",
+        "delta_scenarios",
         "n_measurements",
         "stream_placements",
         "headline_placements",

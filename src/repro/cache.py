@@ -33,6 +33,7 @@ import dataclasses
 import hashlib
 import math
 from collections import OrderedDict
+from functools import lru_cache
 from typing import Any, Callable, Hashable, Mapping
 
 import numpy as np
@@ -44,6 +45,7 @@ __all__ = [
     "estimate_nbytes",
     "fingerprint",
     "table_key",
+    "table_key_from_fingerprint",
 ]
 
 
@@ -127,6 +129,10 @@ def fingerprint(obj: Any) -> str:
 
 _FINGERPRINT_ATTR = "_repro_content_fingerprint"
 
+#: ``fingerprint(None)``, precomputed -- every table key digests three
+#: ``None`` parts (faults/retry/timeout) on the delta-rebuild hot path.
+_NONE_FINGERPRINT: str | None = None
+
 
 def cached_fingerprint(obj: Any) -> str:
     """:func:`fingerprint`, memoized on the object for hot paths.
@@ -136,7 +142,10 @@ def cached_fingerprint(obj: Any) -> str:
     dataclasses); objects refusing attributes fall back to recomputing.
     """
     if obj is None:
-        return fingerprint(obj)
+        global _NONE_FINGERPRINT
+        if _NONE_FINGERPRINT is None:
+            _NONE_FINGERPRINT = fingerprint(None)
+        return _NONE_FINGERPRINT
     cached = getattr(obj, _FINGERPRINT_ATTR, None)
     if cached is not None:
         return cached
@@ -146,6 +155,89 @@ def cached_fingerprint(obj: Any) -> str:
     except (AttributeError, TypeError):
         pass
     return digest
+
+
+_GRID_FINGERPRINT_ATTR = "_repro_grid_fingerprint"
+_GRID_FINGERPRINT_PARTS_ATTR = "_repro_grid_fingerprint_parts"
+
+
+# Late imports memoized once: cache is a leaf module, but its hot keying paths
+# should not re-run the import machinery on every call.
+@lru_cache(maxsize=None)
+def _scenario_grid_class() -> type:
+    from .scenarios.grid import ScenarioGrid
+
+    return ScenarioGrid
+
+
+@lru_cache(maxsize=None)
+def _platform_class() -> type:
+    from .devices.platform import Platform
+
+    return Platform
+
+
+def _grid_fingerprint_parts(scenarios: Any) -> tuple:
+    """Ordered per-scenario digests of a grid, memoized on the grid."""
+    cached = getattr(scenarios, _GRID_FINGERPRINT_PARTS_ATTR, None)
+    if cached is not None:
+        return cached
+    parts = tuple(cached_fingerprint(s) for s in scenarios.scenarios)
+    try:
+        object.__setattr__(scenarios, _GRID_FINGERPRINT_PARTS_ATTR, parts)
+    except (AttributeError, TypeError):
+        pass
+    return parts
+
+
+def _grid_digest(parts: tuple) -> str:
+    # Parts are fixed-width hex digests, so a NUL join is injective and much
+    # cheaper than repr-ing a tuple of s strings.
+    payload = "\x00".join(("ScenarioGrid",) + parts).encode("ascii")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _scenarios_fingerprint(scenarios: Any) -> str:
+    """Fingerprint of a table key's ``scenarios`` part.
+
+    A :class:`~repro.scenarios.grid.ScenarioGrid` is digested as the ordered
+    combination of its scenarios' :func:`cached_fingerprint` values (memoized
+    on the grid), so re-keying a grid that swaps one scenario -- the delta
+    rebuild hot path -- re-hashes ``s`` digests instead of re-canonicalizing
+    every axis of every scenario.
+    """
+    if scenarios is None:
+        return cached_fingerprint(None)
+    if not isinstance(scenarios, _scenario_grid_class()):
+        return cached_fingerprint(scenarios)
+    cached = getattr(scenarios, _GRID_FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = _grid_digest(_grid_fingerprint_parts(scenarios))
+    try:
+        object.__setattr__(scenarios, _GRID_FINGERPRINT_ATTR, digest)
+    except (AttributeError, TypeError):
+        pass
+    return digest
+
+
+def seed_updated_grid_fingerprint(base: Any, updated: Any, changed: "Any") -> None:
+    """Pre-seed ``updated``'s grid fingerprint from ``base``'s memoized parts.
+
+    Delta rebuilds construct a fresh grid differing from ``base`` in a handful
+    of rows; re-digesting only those rows (``changed`` is their index set)
+    keeps re-keying O(changes) instead of O(scenarios).  The seeded digest is
+    exactly what :func:`_scenarios_fingerprint` would compute from scratch.
+    """
+    parts = list(_grid_fingerprint_parts(base))
+    for i in changed:
+        parts[i] = cached_fingerprint(updated.scenarios[i])
+    parts = tuple(parts)
+    try:
+        object.__setattr__(updated, _GRID_FINGERPRINT_PARTS_ATTR, parts)
+        object.__setattr__(updated, _GRID_FINGERPRINT_ATTR, _grid_digest(parts))
+    except (AttributeError, TypeError):
+        pass
 
 
 def table_key(
@@ -164,18 +256,43 @@ def table_key(
     platforms); either way the key is content-addressed, so rebuilding an
     equal configuration from scratch hits the cache.
     """
-    from .devices.platform import Platform
+    return table_key_from_fingerprint(
+        cached_fingerprint(workload),
+        platform,
+        devices=devices,
+        scenarios=scenarios,
+        faults=faults,
+        retry=retry,
+        timeout=timeout,
+    )
 
-    if isinstance(platform, Platform) or platform is None:
+
+def table_key_from_fingerprint(
+    workload_fingerprint: str,
+    platform: Any,
+    *,
+    devices: Any = None,
+    scenarios: Any = None,
+    faults: Any = None,
+    retry: Any = None,
+    timeout: Any = None,
+) -> str:
+    """:func:`table_key` with the workload already digested.
+
+    Delta rebuilds carry the workload's fingerprint in their build context
+    rather than the workload object itself; this entry point lets them re-key
+    updated tables under the same scheme as :func:`table_key`.
+    """
+    if platform is None or isinstance(platform, _platform_class()):
         platform_part = ("platform", cached_fingerprint(platform))
     else:
         platform_part = ("platforms", tuple(cached_fingerprint(p) for p in platform))
     parts = (
         "table",
-        cached_fingerprint(workload),
+        workload_fingerprint,
         platform_part,
         ("devices", canonical(tuple(devices) if devices is not None else None)),
-        ("scenarios", cached_fingerprint(scenarios)),
+        ("scenarios", _scenarios_fingerprint(scenarios)),
         ("faults", cached_fingerprint(faults)),
         ("retry", cached_fingerprint(retry)),
         ("timeout", cached_fingerprint(timeout)),

@@ -1,0 +1,107 @@
+"""Array-space platform parameters: the substrate of the fused grid build.
+
+The condition-stacked grid builder used to derive one ``Platform`` dataclass
+per scenario and re-gather every ``DeviceSpec``/``LinkSpec`` float with Python
+``getattr`` loops -- O(scenarios x devices) object churn before a single
+NumPy op ran.  :class:`PlatformParams` replaces that: every float parameter of
+the base platform is broadcast once into a ``(n_scenarios, ...)`` array, and
+condition axes transform the arrays in place through their vectorized
+``scale_arrays`` hook (see :class:`~repro.scenarios.conditions.ConditionAxis`).
+
+Elementwise NumPy float64 arithmetic rounds exactly like scalar Python float
+arithmetic (both are IEEE-754 double operations), so a parameter array
+transformed here is bitwise identical to gathering the same parameter from
+the scalar-derived platforms -- the invariant the differential tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .platform import Platform
+
+__all__ = ["PlatformParams"]
+
+#: Every float field of a DeviceSpec, in declaration order.
+DEVICE_FIELDS = (
+    "peak_gflops",
+    "half_saturation_flops",
+    "memory_bandwidth_gbs",
+    "kernel_launch_overhead_s",
+    "task_startup_overhead_s",
+    "power_active_w",
+    "power_idle_w",
+    "cost_per_hour",
+)
+
+#: Every float field of a LinkSpec.
+LINK_FIELDS = ("bandwidth_gbs", "latency_s", "energy_per_byte_j")
+
+
+@dataclass
+class PlatformParams:
+    """One platform's float parameters, broadcast across a scenario axis.
+
+    ``device[field]`` is a writable ``(n_scenarios, n_devices)`` array over
+    the platform's device insertion order; ``link[field]`` a writable
+    ``(n_scenarios, n_links)`` array over the sorted canonical link pairs.
+    Condition axes mutate these arrays in place (row ``i`` belongs to
+    scenario ``i`` of whatever subset is being built).
+    """
+
+    base: Platform
+    n_scenarios: int
+    device_order: tuple[str, ...]
+    link_pairs: tuple[tuple[str, str], ...]
+    device: dict[str, np.ndarray] = field(default_factory=dict)
+    link: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def gather(cls, platform: Platform, n_scenarios: int) -> "PlatformParams":
+        """Broadcast every float parameter of ``platform`` over ``n_scenarios`` rows."""
+        device_order = tuple(platform.devices)
+        link_pairs = tuple(sorted(platform.links))
+        device = {
+            name: np.tile(
+                [getattr(platform.devices[alias], name) for alias in device_order],
+                (n_scenarios, 1),
+            )
+            for name in DEVICE_FIELDS
+        }
+        link = {
+            name: np.tile(
+                np.array([getattr(platform.links[pair], name) for pair in link_pairs]),
+                (n_scenarios, 1),
+            )
+            for name in LINK_FIELDS
+        }
+        return cls(
+            base=platform,
+            n_scenarios=n_scenarios,
+            device_order=device_order,
+            link_pairs=link_pairs,
+            device=device,
+            link=link,
+        )
+
+    # -- column selection (same validation errors as the scalar axis path) --
+    def device_columns(self, devices: "tuple[str, ...] | None") -> np.ndarray:
+        """Array columns of some device aliases (``None`` = every device)."""
+        if devices is None:
+            return np.arange(len(self.device_order), dtype=np.intp)
+        self.base.validate_aliases(devices)
+        index = {alias: i for i, alias in enumerate(self.device_order)}
+        return np.array([index[alias] for alias in devices], dtype=np.intp)
+
+    def link_columns(self, links: "tuple[tuple[str, str], ...] | None") -> np.ndarray:
+        """Array columns of some link pairs (``None`` = every link)."""
+        if links is None:
+            return np.arange(len(self.link_pairs), dtype=np.intp)
+        for a, b in links:
+            self.base.link(a, b)  # raises with the usual message when absent
+        index = {pair: i for i, pair in enumerate(self.link_pairs)}
+        return np.array(
+            [index[(a, b) if a <= b else (b, a)] for a, b in links], dtype=np.intp
+        )

@@ -485,16 +485,22 @@ class SimulatedExecutor:
         (:class:`~repro.faults.tables.FaultGridCostTables` with ``retry=``),
         served from the same content-addressed :attr:`table_cache` as
         :meth:`cost_tables` -- a sweep over scenarios rebuilds only what
-        changed.
+        changed.  Scenario-driven builds route through the fused array-space
+        path and reuse :attr:`table_cache` for per-scenario condition slices,
+        so overlapping grids share slice work too.
         """
         from .tables import build_tables
 
         self._check_fault_args(retry, faults, timeout)
         platform_arg, scenario_arg = self.platform, scenarios
         if not hasattr(scenarios, "platforms"):
+            from ..scenarios.grid import ScenarioGrid
+
             seq = list(scenarios)
             if seq and isinstance(seq[0], Platform):
                 platform_arg, scenario_arg = seq, None
+            else:
+                scenario_arg = ScenarioGrid(tuple(seq))
         key = table_key(
             chain,
             platform_arg,
@@ -514,8 +520,25 @@ class SimulatedExecutor:
                 faults=faults,
                 retry=retry,
                 timeout=timeout,
+                slice_cache=self.table_cache,
             ),
         )
+
+    def update_grid_tables(self, tables, replacements: Mapping[int, object]):
+        """Delta-rebuild grid tables after swapping out some scenarios.
+
+        ``replacements`` maps scenario indices (negative indices count from
+        the end) to their new :class:`~repro.scenarios.conditions.Scenario`
+        definitions.  Only the affected condition slices are recomputed --
+        unchanged slices (and replacement slices seen before) are served from
+        :attr:`table_cache` by content fingerprint -- and the rebuilt tables
+        are registered in the cache under their new fingerprint, so a later
+        :meth:`grid_cost_tables` call with the updated grid is a cache hit.
+        """
+        updated = tables.updated_many(replacements, slice_cache=self.table_cache)
+        if updated is not tables and updated.fingerprint:
+            self.table_cache.put(updated.fingerprint, updated)
+        return updated
 
     def plan(
         self,

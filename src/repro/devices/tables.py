@@ -87,7 +87,8 @@ class CostTables(Protocol):
     def execute(self, placements: np.ndarray) -> Any: ...
 
 
-def _scenario_platforms(platform: Platform, scenarios: Any) -> "tuple[ScenarioGrid, list[Platform]]":
+def _as_scenario_grid(platform: Platform, scenarios: Any) -> "ScenarioGrid":
+    """Coerce the scenarios argument to a grid (no platform derivation)."""
     from ..scenarios.grid import ScenarioGrid
 
     if not isinstance(platform, Platform):
@@ -97,7 +98,7 @@ def _scenario_platforms(platform: Platform, scenarios: Any) -> "tuple[ScenarioGr
         )
     if not isinstance(scenarios, ScenarioGrid):
         scenarios = ScenarioGrid(tuple(scenarios))
-    return scenarios, scenarios.platforms(platform)
+    return scenarios
 
 
 def build_tables(
@@ -109,6 +110,7 @@ def build_tables(
     faults: Any = None,
     retry: Any = None,
     timeout: Any = None,
+    slice_cache: Any = None,
 ):
     """Build the cost tables for one configuration, fingerprint attached.
 
@@ -123,12 +125,22 @@ def build_tables(
         Candidate device aliases; defaults to every platform device.
     scenarios:
         A :class:`~repro.scenarios.grid.ScenarioGrid` (or scenario sequence)
-        to derive grid platforms from ``platform``; mutually exclusive with
-        passing a platform sequence.
+        to derive grid tables from ``platform``; mutually exclusive with
+        passing a platform sequence.  This is the **fused** grid path: when
+        every pinned axis implements the vectorized
+        :meth:`~repro.scenarios.conditions.ConditionAxis.scale_arrays` hook,
+        the tables are built in array space without deriving per-scenario
+        platforms (bitwise identical to the materializing build), and carry a
+        build context enabling :meth:`~repro.devices.grid.GridCostTables.updated`
+        delta rebuilds.
     faults, retry, timeout:
         Fault-aware evaluation: passing ``retry`` selects the fault table
         families; ``faults``/``timeout`` without ``retry`` is an error
         (mirroring the executor).
+    slice_cache:
+        Optional :class:`~repro.cache.TableCache` for per-scenario condition
+        slices of fused grid builds; slices already cached (by content
+        fingerprint) are served instead of recomputed.
 
     The returned object satisfies :class:`CostTables`; its ``fingerprint``
     is :func:`repro.cache.table_key` of the configuration, which is also the
@@ -137,8 +149,9 @@ def build_tables(
     check_fault_args(retry, faults, timeout)
 
     platforms: list[Platform] | None = None
+    grid: "ScenarioGrid | None" = None
     if scenarios is not None:
-        scenarios, platforms = _scenario_platforms(platform, scenarios)
+        grid = _as_scenario_grid(platform, scenarios)
         key_platform: Any = platform
     elif isinstance(platform, Platform):
         key_platform = platform
@@ -150,7 +163,7 @@ def build_tables(
         workload,
         key_platform,
         devices=devices,
-        scenarios=scenarios,
+        scenarios=grid,
         faults=faults,
         retry=retry,
         timeout=timeout,
@@ -159,7 +172,19 @@ def build_tables(
     if retry is not None:
         from ..faults.tables import _build_fault_grid_tables, _build_fault_tables
 
-        if platforms is not None:
+        if grid is not None:
+            tables = _build_fault_grid_tables(
+                workload,
+                None,
+                devices,
+                retry=retry,
+                faults=faults,
+                timeout=timeout,
+                platform=platform,
+                scenarios=grid,
+                slice_cache=slice_cache,
+            )
+        elif platforms is not None:
             tables = _build_fault_grid_tables(
                 workload, platforms, devices, retry=retry, faults=faults, timeout=timeout
             )
@@ -167,6 +192,17 @@ def build_tables(
             tables = _build_fault_tables(
                 workload, platform, devices, retry=retry, faults=faults, timeout=timeout
             )
+    elif grid is not None:
+        from .grid import _attach_build_context, _build_grid_tables, _build_grid_tables_fused
+
+        tables = _build_grid_tables_fused(
+            workload, platform, grid, devices, slice_cache=slice_cache
+        )
+        if tables is None:
+            # Some axis lacks the vectorized hook: materialize the per-scenario
+            # platforms, but keep the build context so delta rebuilds work.
+            tables = _build_grid_tables(workload, grid.platforms(platform), devices)
+            tables = _attach_build_context(tables, workload, platform, grid, devices)
     elif platforms is not None:
         from .grid import _build_grid_tables
 

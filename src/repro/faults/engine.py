@@ -250,6 +250,12 @@ class FaultGridExecutionResult(GridExecutionResult):
     fault_tables: FaultGridCostTables | None = None
     success_probability: np.ndarray | None = None  # (s, n)
     expected_attempts: np.ndarray | None = None  # (s, n)
+    #: Eager (s, n, m) energy breakdowns: unlike the classic grid result
+    #: (which derives them lazily from its stored totals), the fault engine's
+    #: breakdowns come from the pre-masked expected times -- rows where
+    #: success is impossible idle for 0.0 seconds, not for ``inf``.
+    active_j: np.ndarray | None = None
+    idle_j: np.ndarray | None = None
 
     def batch(self, index: int) -> FaultBatchExecutionResult:
         """One scenario's fault batch view (bitwise equal to a direct run)."""

@@ -247,8 +247,15 @@ class FaultGridCostTables:
     def workload(self) -> str:
         return self.base.workload
 
+    def cache_stats(self):
+        """Slice provenance of the underlying grid build (see
+        :meth:`~repro.devices.grid.GridCostTables.cache_stats`)."""
+        return self.base.cache_stats()
+
     def table(self, index: int) -> FaultChainCostTables:
-        """One scenario's fault tables (bitwise identical to a direct build)."""
+        """One scenario's fault tables (bitwise identical to a direct build);
+        negative indices count from the end."""
+        index = self.base._scenario_index(index)
         return FaultChainCostTables(
             base=self.base.table(index),
             profile=self.profiles[index],
@@ -287,16 +294,30 @@ def build_fault_grid_tables(
 
 def _build_fault_grid_tables(
     workload: "TaskChain | TaskGraph",
-    platforms: Sequence["Platform"],
+    platforms: "Sequence[Platform] | None",
     devices: Sequence[str] | None = None,
     *,
     retry: RetryPolicy,
     faults: FaultProfile | None = None,
     timeout: TimeoutPolicy | None = None,
+    platform: "Platform | None" = None,
+    scenarios=None,
+    slice_cache=None,
 ) -> FaultGridCostTables:
-    """The fault-grid builder behind :func:`build_fault_grid_tables`."""
+    """The fault-grid builder behind :func:`build_fault_grid_tables`.
+
+    Given ``platform`` + ``scenarios`` (the fused form), the base grid routes
+    through the array-space builder and per-scenario platforms are derived
+    lazily, only for fault-profile resolution; otherwise ``platforms`` is the
+    classic pre-derived sequence.
+    """
     timeout = _check_policies(retry, timeout)
-    base = build_grid_tables(workload, platforms, devices)
+    if scenarios is not None:
+        base = build_tables(
+            workload, platform, devices=devices, scenarios=scenarios, slice_cache=slice_cache
+        )
+    else:
+        base = build_grid_tables(workload, platforms, devices)
     profiles = tuple(resolve_fault_profile(platform, faults) for platform in base.platforms)
     costs = workload.costs()
     s = base.n_scenarios

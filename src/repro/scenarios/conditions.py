@@ -9,23 +9,41 @@ named point in condition space); :func:`apply_conditions` derives the
 scenario's platform through the :meth:`Platform.with_devices` /
 :meth:`Platform.with_links` primitives.
 
+Axes carry **two equivalent transforms**.  :meth:`ConditionAxis.apply` is the
+scalar reference: ``(platform, value) -> derived platform``.
+:meth:`ConditionAxis.scale_arrays` is the vectorized form the fused grid
+builder uses: it mutates a :class:`~repro.devices.params.PlatformParams`
+bundle in place, scaling whole ``(scenario, device)`` / ``(scenario, link)``
+parameter arrays at once.  Elementwise float64 array arithmetic rounds exactly
+like the scalar arithmetic in ``apply``, so the two paths agree **bitwise** --
+the contract the differential tests pin.  Custom axes may implement ``apply``
+only; grid builds containing them transparently fall back to the
+materializing path (see :func:`vectorized_axis`).
+
 All axes are value-type dataclasses (picklable, hashable) so scenarios can
 cross process boundaries in sharded sweeps, and applying an axis at its
 neutral value (scale ``1.0``, interpolation ``t=0`` with matching endpoints)
 reproduces the base platform's cost model **bitwise** (multiplying an IEEE-754
-double by ``1.0`` is exact).
+double by ``1.0`` is exact); neutral applications short-circuit and return
+the base platform object itself.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Sequence
+from functools import lru_cache
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from ..devices.device import DeviceSpec
 from ..devices.link import LinkSpec
 from ..devices.platform import Platform
 from ..faults.models import DeviceFailure, FaultProfile, LinkDropout
+
+if TYPE_CHECKING:
+    from ..devices.params import PlatformParams
 
 __all__ = [
     "ConditionAxis",
@@ -39,6 +57,7 @@ __all__ = [
     "LinkDropoutRate",
     "Scenario",
     "apply_conditions",
+    "vectorized_axis",
 ]
 
 
@@ -55,6 +74,15 @@ class ConditionAxis:
 
     Subclasses define :meth:`apply`, a pure function from ``(platform, value)``
     to a derived platform, and expose a ``name`` used in scenario labels.
+
+    Subclasses that also implement :meth:`scale_arrays` (on the **same class**
+    that defines their ``apply``, so the two transforms evolve together) are
+    eligible for the fused grid build: instead of deriving one platform per
+    scenario, the builder gathers the base platform's parameters once and
+    calls ``scale_arrays`` with the scenario rows and values that pin this
+    axis.  The hook must perform the *same* elementwise float arithmetic as
+    ``apply`` (and raise the same validation errors), which makes the fused
+    tables bitwise identical to the materializing ones.
     """
 
     name: str = "condition"
@@ -62,9 +90,49 @@ class ConditionAxis:
     def apply(self, platform: Platform, value: float) -> Platform:  # pragma: no cover
         raise NotImplementedError
 
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Vectorized form of :meth:`apply` over parameter arrays.
+
+        ``rows`` are the scenario-row indices that pin this axis and
+        ``values`` (same length, float64) their axis values; implementations
+        mutate ``params.device`` / ``params.link`` arrays in place at those
+        rows.  The base class raises: axes without the hook route grid builds
+        through the materializing fallback.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the vectorized "
+            "scale_arrays hook; grid builds containing this axis fall back "
+            "to the materializing path"
+        )
+
     def describe(self, value: float) -> str:
         """Human-readable ``axis=value`` fragment for generated scenario names."""
         return f"{self.name}={value:g}"
+
+
+def vectorized_axis(axis: ConditionAxis) -> bool:
+    """Whether the fused grid builder may use ``axis.scale_arrays``.
+
+    True when the axis implements :meth:`~ConditionAxis.scale_arrays` and the
+    defining class is the same one that defines its ``apply`` -- a subclass
+    that overrides ``apply`` without re-implementing ``scale_arrays`` (or vice
+    versa) would break the bitwise scalar==vectorized contract, so it falls
+    back to the materializing path.
+    """
+    return _vectorized_axis_class(type(axis))
+
+
+@lru_cache(maxsize=None)
+def _vectorized_axis_class(cls: type) -> bool:
+    # The MRO walk is pure in the class definition, so grid builds (which ask
+    # once per scenario setting) share one verdict per axis class.
+    scale_owner = next((k for k in cls.__mro__ if "scale_arrays" in vars(k)), None)
+    if scale_owner is None or scale_owner is ConditionAxis:
+        return False
+    apply_owner = next((k for k in cls.__mro__ if "apply" in vars(k)), None)
+    return apply_owner is scale_owner
 
 
 def _selected_links(
@@ -84,6 +152,12 @@ def _selected_devices(platform: Platform, devices: "tuple[str, ...] | None") -> 
     return list(devices)
 
 
+def _first_bad(values: np.ndarray, bad: np.ndarray) -> float:
+    """The first offending value of a vectorized validation, as a plain float
+    so the error message matches the scalar path's ``{value!r}`` exactly."""
+    return float(values[bad][0])
+
+
 @dataclass(frozen=True)
 class LinkBandwidthScale(ConditionAxis):
     """Multiply the bandwidth of some links (``None`` = every link) by the value.
@@ -100,6 +174,9 @@ class LinkBandwidthScale(ConditionAxis):
     def apply(self, platform: Platform, value: float) -> Platform:
         if value <= 0:
             raise ValueError(f"{self.name} scale must be positive, got {value!r}")
+        if value == 1.0:
+            _selected_links(platform, self.links)  # validate the selection
+            return platform
         return platform.with_links(
             {
                 pair: replace(link, bandwidth_gbs=link.bandwidth_gbs * value)
@@ -107,6 +184,17 @@ class LinkBandwidthScale(ConditionAxis):
                 for link in (platform.link(*pair),)
             }
         )
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        bad = values <= 0
+        if bad.any():
+            raise ValueError(
+                f"{self.name} scale must be positive, got {_first_bad(values, bad)!r}"
+            )
+        cols = params.link_columns(self.links)
+        params.link["bandwidth_gbs"][np.ix_(rows, cols)] *= values[:, None]
 
 
 @dataclass(frozen=True)
@@ -122,6 +210,9 @@ class LinkLatencyScale(ConditionAxis):
     def apply(self, platform: Platform, value: float) -> Platform:
         if value < 0:
             raise ValueError(f"{self.name} scale must be non-negative, got {value!r}")
+        if value == 1.0:
+            _selected_links(platform, self.links)
+            return platform
         return platform.with_links(
             {
                 pair: replace(link, latency_s=link.latency_s * value)
@@ -129,6 +220,17 @@ class LinkLatencyScale(ConditionAxis):
                 for link in (platform.link(*pair),)
             }
         )
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        bad = values < 0
+        if bad.any():
+            raise ValueError(
+                f"{self.name} scale must be non-negative, got {_first_bad(values, bad)!r}"
+            )
+        cols = params.link_columns(self.links)
+        params.link["latency_s"][np.ix_(rows, cols)] *= values[:, None]
 
 
 @dataclass(frozen=True)
@@ -147,6 +249,9 @@ class DeviceLoadFactor(ConditionAxis):
     def apply(self, platform: Platform, value: float) -> Platform:
         if value < 1:
             raise ValueError(f"{self.name} must be >= 1 (no load), got {value!r}")
+        if value == 1.0:
+            _selected_devices(platform, self.devices)
+            return platform
         return platform.with_devices(
             {
                 alias: replace(
@@ -158,6 +263,18 @@ class DeviceLoadFactor(ConditionAxis):
                 for spec in (platform.device(alias),)
             }
         )
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        bad = values < 1
+        if bad.any():
+            raise ValueError(
+                f"{self.name} must be >= 1 (no load), got {_first_bad(values, bad)!r}"
+            )
+        ix = np.ix_(rows, params.device_columns(self.devices))
+        params.device["peak_gflops"][ix] /= values[:, None]
+        params.device["memory_bandwidth_gbs"][ix] /= values[:, None]
 
 
 @dataclass(frozen=True)
@@ -176,6 +293,9 @@ class DvfsFrequencyScale(ConditionAxis):
     def apply(self, platform: Platform, value: float) -> Platform:
         if not 0 < value <= 1:
             raise ValueError(f"{self.name} frequency factor must lie in (0, 1], got {value!r}")
+        if value == 1.0:
+            _selected_devices(platform, self.devices)
+            return platform
         return platform.with_devices(
             {
                 alias: replace(
@@ -187,6 +307,19 @@ class DvfsFrequencyScale(ConditionAxis):
                 for spec in (platform.device(alias),)
             }
         )
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        bad = (values <= 0) | (values > 1)
+        if bad.any():
+            raise ValueError(
+                f"{self.name} frequency factor must lie in (0, 1], "
+                f"got {_first_bad(values, bad)!r}"
+            )
+        ix = np.ix_(rows, params.device_columns(self.devices))
+        params.device["peak_gflops"][ix] *= values[:, None]
+        params.device["power_active_w"][ix] *= values[:, None]
 
 
 @dataclass(frozen=True)
@@ -204,6 +337,9 @@ class EnergyPriceScale(ConditionAxis):
     def apply(self, platform: Platform, value: float) -> Platform:
         if value < 0:
             raise ValueError(f"{self.name} multiplier must be non-negative, got {value!r}")
+        if value == 1.0:
+            _selected_devices(platform, self.devices)
+            return platform
         return platform.with_devices(
             {
                 alias: replace(spec, cost_per_hour=spec.cost_per_hour * value)
@@ -211,6 +347,17 @@ class EnergyPriceScale(ConditionAxis):
                 for spec in (platform.device(alias),)
             }
         )
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        bad = values < 0
+        if bad.any():
+            raise ValueError(
+                f"{self.name} multiplier must be non-negative, got {_first_bad(values, bad)!r}"
+            )
+        ix = np.ix_(rows, params.device_columns(self.devices))
+        params.device["cost_per_hour"][ix] *= values[:, None]
 
 
 def _interpolate(a: float, b: float, t: float) -> float:
@@ -252,23 +399,50 @@ class LinkInterpolation(ConditionAxis):
             raise ValueError("LinkInterpolation needs both start and end LinkSpecs")
         object.__setattr__(self, "links", _normalise_pairs(self.links))
 
+    def _spec_at(self, value: float) -> LinkSpec:
+        """The interpolated spec at parameter ``value`` (shared by both the
+        scalar and vectorized paths so they agree bitwise)."""
+        if value == 0.0:
+            return self.start
+        if value == 1.0:
+            return self.end
+        return LinkSpec(
+            name=f"{self.start.name}~{value:.3g}~{self.end.name}",
+            bandwidth_gbs=_interpolate(self.start.bandwidth_gbs, self.end.bandwidth_gbs, value),
+            latency_s=_interpolate(self.start.latency_s, self.end.latency_s, value),
+            energy_per_byte_j=_interpolate(
+                self.start.energy_per_byte_j, self.end.energy_per_byte_j, value
+            ),
+        )
+
     def apply(self, platform: Platform, value: float) -> Platform:
         if not 0.0 <= value <= 1.0:
             raise ValueError(f"{self.name} interpolation parameter must lie in [0, 1], got {value!r}")
-        if value == 0.0:
-            spec = self.start
-        elif value == 1.0:
-            spec = self.end
-        else:
-            spec = LinkSpec(
-                name=f"{self.start.name}~{value:.3g}~{self.end.name}",
-                bandwidth_gbs=_interpolate(self.start.bandwidth_gbs, self.end.bandwidth_gbs, value),
-                latency_s=_interpolate(self.start.latency_s, self.end.latency_s, value),
-                energy_per_byte_j=_interpolate(
-                    self.start.energy_per_byte_j, self.end.energy_per_byte_j, value
-                ),
+        spec = self._spec_at(value)
+        pairs = _selected_links(platform, self.links)
+        if all(platform.link(*pair) == spec for pair in pairs):
+            return platform
+        return platform.with_links({pair: spec for pair in pairs})
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        bad = (values < 0.0) | (values > 1.0)
+        if bad.any():
+            raise ValueError(
+                f"{self.name} interpolation parameter must lie in [0, 1], "
+                f"got {_first_bad(values, bad)!r}"
             )
-        return platform.with_links({pair: spec for pair in _selected_links(platform, self.links)})
+        cols = params.link_columns(self.links)
+        # This axis *installs* values rather than scaling them, so the spec is
+        # computed once per distinct parameter through the same scalar helper
+        # as apply() and assigned to the matching scenario rows.
+        for v in np.unique(values):
+            spec = self._spec_at(float(v))
+            ix = np.ix_(rows[values == v], cols)
+            params.link["bandwidth_gbs"][ix] = spec.bandwidth_gbs
+            params.link["latency_s"][ix] = spec.latency_s
+            params.link["energy_per_byte_j"][ix] = spec.energy_per_byte_j
 
 
 @dataclass(frozen=True)
@@ -304,7 +478,26 @@ class DeviceFailureRate(ConditionAxis):
             for alias in self.devices:
                 rates[alias] = float(value)
             failure = replace(failure, rates=tuple(sorted(rates.items())))
-        return platform.with_faults(replace(current, device_failure=failure))
+        profile = replace(current, device_failure=failure)
+        if platform.faults == profile:
+            return platform
+        return platform.with_faults(profile)
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        # Failure rates live in the derived FaultProfile, not in any cost
+        # parameter, so this axis is a cost-table no-op: fault-grid layers
+        # re-derive the per-scenario profiles from the lazily applied
+        # platforms.  Validation still mirrors apply().
+        bad = (values < 0.0) | (values > 1.0)
+        if bad.any():
+            raise ValueError(
+                f"{self.name} must be a probability in [0, 1], "
+                f"got {_first_bad(values, bad)!r}"
+            )
+        if self.devices is not None:
+            params.device_columns(self.devices)
 
 
 @dataclass(frozen=True)
@@ -336,7 +529,23 @@ class LinkDropoutRate(ConditionAxis):
             for pair in self.links:
                 rates[pair] = float(value)
             dropout = replace(dropout, rates=tuple(sorted(rates.items())))
-        return platform.with_faults(replace(current, link_dropout=dropout))
+        profile = replace(current, link_dropout=dropout)
+        if platform.faults == profile:
+            return platform
+        return platform.with_faults(profile)
+
+    def scale_arrays(
+        self, params: "PlatformParams", rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        # Like DeviceFailureRate: profile-only, no cost parameter moves.
+        bad = (values < 0.0) | (values > 1.0)
+        if bad.any():
+            raise ValueError(
+                f"{self.name} must be a probability in [0, 1], "
+                f"got {_first_bad(values, bad)!r}"
+            )
+        if self.links is not None:
+            params.link_columns(self.links)
 
 
 @dataclass(frozen=True)
@@ -371,12 +580,16 @@ def apply_conditions(platform: Platform, scenario: Scenario) -> Platform:
     Axes apply in ``scenario.settings`` order (they commute unless two axes
     touch the same parameter of the same device/link, in which case the later
     one sees the earlier one's output -- e.g. stacking load on DVFS).  The
-    derived platform is renamed ``"<base>@<scenario>"``; an empty scenario
-    yields a platform whose cost model is bitwise identical to the base.
+    derived platform is renamed ``"<base>@<scenario>"``; a scenario whose
+    axes all short-circuit at their neutral values (and an empty scenario)
+    returns the base platform object itself, unrenamed -- the cost model is
+    identical, and skipping the copy chain keeps identity points free.
     """
     derived = platform
     for axis, value in scenario.settings:
         derived = axis.apply(derived, value)
+    if derived is platform:
+        return platform
     return Platform(
         devices=derived.devices,
         links=derived.links,

@@ -858,7 +858,7 @@ def plan_grid(
         RegretObjective,
         RobustObjective,
         WorstCaseObjective,
-        _scenario_platforms,
+        _scenario_entries,
     )
 
     if isinstance(objective, str):
@@ -878,17 +878,11 @@ def plan_grid(
             "to search_grid's streaming enumeration"
         )
 
-    from ..scenarios import ScenarioGrid
-
-    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
+    grid, scenario_names, grid_weights = _scenario_entries(scenarios)
     # Served from the executor's content-addressed table cache: keyed by the
-    # (base platform, scenario grid) fingerprints when a grid is given, so a
-    # sweep re-planning the same configuration skips the rebuild.
-    tables = executor.grid_cost_tables(
-        workload,
-        scenarios if isinstance(scenarios, ScenarioGrid) else platforms,
-        devices,
-    )
+    # (base platform, scenario grid) fingerprints, so a sweep re-planning the
+    # same configuration skips the rebuild (grids build in array space).
+    tables = executor.grid_cost_tables(workload, grid, devices)
     reason = _grid_chain_tables(workload, tables)
     if reason is not None:
         raise ValueError(reason)

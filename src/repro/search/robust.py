@@ -315,13 +315,16 @@ class GridSearchResult:
 # Streaming driver
 # ----------------------------------------------------------------------------
 
-def _scenario_platforms(executor: "SimulatedExecutor", scenarios) -> tuple[list, tuple[str, ...], np.ndarray]:
-    """Derive (platforms, names, weights) from a ScenarioGrid / scenario list."""
-    from ..scenarios import Scenario, ScenarioGrid, apply_conditions
+def _scenario_entries(scenarios) -> tuple["ScenarioGrid", tuple[str, ...], np.ndarray]:
+    """Coerce a ScenarioGrid / scenario list to (grid, names, weights).
 
-    if isinstance(scenarios, ScenarioGrid):
-        entries: Sequence[Scenario] = tuple(scenarios)
-    else:
+    No platform derivation happens here: grid tables are built in array
+    space from the base platform plus the scenario definitions, and
+    per-scenario platforms only materialize if something asks for them.
+    """
+    from ..scenarios import Scenario, ScenarioGrid
+
+    if not isinstance(scenarios, ScenarioGrid):
         entries = tuple(scenarios)
         if not entries:
             raise ValueError("at least one scenario is required")
@@ -330,10 +333,10 @@ def _scenario_platforms(executor: "SimulatedExecutor", scenarios) -> tuple[list,
                 raise TypeError(
                     f"expected Scenario instances or a ScenarioGrid, got {entry!r}"
                 )
-    platforms = [apply_conditions(executor.platform, scenario) for scenario in entries]
-    names = tuple(scenario.name for scenario in entries)
-    weights = np.array([scenario.weight for scenario in entries], dtype=float)
-    return platforms, names, weights
+        scenarios = ScenarioGrid(entries)
+    names = tuple(scenario.name for scenario in scenarios)
+    weights = np.array([scenario.weight for scenario in scenarios], dtype=float)
+    return scenarios, names, weights
 
 
 def _iter_grid_chunks(
@@ -416,57 +419,76 @@ class _SelectionPass:
         self.n_feasible += other.n_feasible
 
 
-def _sweep_baselines(
+def _grid_chunk_stream(
     tables: "GridCostTables",
     bases: Mapping[str, "str | Objective"],
-    baseline_names: Sequence[str],
     constraints: Sequence[Constraint],
     batch_size: int,
     start: int,
     stop: int,
-) -> _BaselinePass:
-    minima = {name: np.full(tables.n_scenarios, np.inf) for name in baseline_names}
-    any_feasible = False
-    for _, grid in _iter_grid_chunks(tables, batch_size, start, stop):
+) -> "Iterable[tuple[int, int, np.ndarray, dict[str, np.ndarray] | None]]":
+    """Stream ``(chunk_start, n, feasible_mask, base_values)`` tuples.
+
+    ``base_values`` maps base-objective names to their raw ``(s, n)`` value
+    matrices -- **unmasked**, so the chunks of a scenario-sharded sweep can be
+    concatenated along the scenario axis before the merged mask is applied
+    (reductions like the weighted expectation are chunk-width dependent in
+    floating point, so every path must reduce the exact same matrix).  It is
+    ``None`` when no placement of the chunk is feasible.
+    """
+    for chunk_start, grid in _iter_grid_chunks(tables, batch_size, start, stop):
         mask = _feasible(grid, constraints)
-        if not mask.any():
+        values = (
+            {name: _base_values(base, grid) for name, base in bases.items()}
+            if mask.any()
+            else None
+        )
+        yield chunk_start, len(grid), mask, values
+
+
+def _fold_baselines(
+    n_scenarios: int,
+    chunks: "Iterable[tuple[int, int, np.ndarray, dict[str, np.ndarray] | None]]",
+    baseline_names: Sequence[str],
+) -> _BaselinePass:
+    """Fold a chunk stream into per-scenario minima (the regret baselines)."""
+    minima = {name: np.full(n_scenarios, np.inf) for name in baseline_names}
+    any_feasible = False
+    for _, _, mask, chunk_values in chunks:
+        if chunk_values is None:
             continue
         any_feasible = True
         for name in baseline_names:
-            values = _base_values(bases[name], grid)[:, mask]
+            values = chunk_values[name][:, mask]
             np.minimum(minima[name], values.min(axis=1), out=minima[name])
     return _BaselinePass(minima=minima, any_feasible=any_feasible)
 
 
-def _sweep_selection(
-    tables: "GridCostTables",
+def _fold_selection(
+    n_scenarios: int,
+    chunks: "Iterable[tuple[int, int, np.ndarray, dict[str, np.ndarray] | None]]",
     coerced: Sequence[RobustObjective],
     bases: Mapping[str, "str | Objective"],
     top_k: int,
-    constraints: Sequence[Constraint],
     baselines: Mapping[str, np.ndarray],
-    batch_size: int,
-    start: int,
-    stop: int,
 ) -> _SelectionPass:
+    """Fold a chunk stream into top-K selections and per-scenario winners."""
     base_names = list(bases)
     selectors = {objective.name: StreamingTopK(top_k) for objective in coerced}
     scenario_best_idx = {
-        name: np.full(tables.n_scenarios, -1, dtype=np.int64) for name in base_names
+        name: np.full(n_scenarios, -1, dtype=np.int64) for name in base_names
     }
-    scenario_best_val = {name: np.full(tables.n_scenarios, np.inf) for name in base_names}
+    scenario_best_val = {name: np.full(n_scenarios, np.inf) for name in base_names}
     n_evaluated = 0
     n_feasible = 0
-    for chunk_start, grid in _iter_grid_chunks(tables, batch_size, start, stop):
-        n = len(grid)
+    for chunk_start, n, mask, raw_values in chunks:
         n_evaluated += n
-        mask = _feasible(grid, constraints)
         feasible_count = int(np.count_nonzero(mask))
         n_feasible += feasible_count
-        if not feasible_count:
+        if not feasible_count or raw_values is None:
             continue
         indices = np.arange(n, dtype=np.int64)[mask] + np.int64(chunk_start)
-        chunk_values = {name: _base_values(bases[name], grid)[:, mask] for name in base_names}
+        chunk_values = {name: raw_values[name][:, mask] for name in base_names}
         for objective in coerced:
             values = chunk_values[_base_name(objective.base)]
             reduced = objective.reduce(
@@ -490,27 +512,56 @@ def _sweep_selection(
     )
 
 
+def _sweep_baselines(
+    tables: "GridCostTables",
+    bases: Mapping[str, "str | Objective"],
+    baseline_names: Sequence[str],
+    constraints: Sequence[Constraint],
+    batch_size: int,
+    start: int,
+    stop: int,
+) -> _BaselinePass:
+    chunks = _grid_chunk_stream(tables, bases, constraints, batch_size, start, stop)
+    return _fold_baselines(tables.n_scenarios, chunks, baseline_names)
+
+
+def _sweep_selection(
+    tables: "GridCostTables",
+    coerced: Sequence[RobustObjective],
+    bases: Mapping[str, "str | Objective"],
+    top_k: int,
+    constraints: Sequence[Constraint],
+    baselines: Mapping[str, np.ndarray],
+    batch_size: int,
+    start: int,
+    stop: int,
+) -> _SelectionPass:
+    chunks = _grid_chunk_stream(tables, bases, constraints, batch_size, start, stop)
+    return _fold_selection(tables.n_scenarios, chunks, coerced, bases, top_k, baselines)
+
+
 def _build_shard_tables(
     chain: "TaskChain | TaskGraph",
-    platforms: list,
+    platform,
+    scenarios: "ScenarioGrid",
     devices: Sequence[str] | None,
     fault_spec: tuple | None,
 ) -> "GridCostTables":
     """Grid tables of one worker: fault-augmented when ``fault_spec`` is set."""
-    from ..devices.grid import build_grid_tables
+    from ..devices.tables import build_tables
 
     if fault_spec is not None:
-        from ..faults.tables import build_fault_grid_tables
-
         faults, retry, timeout = fault_spec
-        return build_fault_grid_tables(
-            chain, platforms, devices, retry=retry, faults=faults, timeout=timeout
+        return build_tables(
+            chain, platform, devices=devices, scenarios=scenarios,
+            faults=faults, retry=retry, timeout=timeout,
         )
-    return build_grid_tables(chain, platforms, devices)
+    return build_tables(chain, platform, devices=devices, scenarios=scenarios)
 
 
 def _run_baseline_shard(
-    platforms: list,
+    platform,
+    scenarios: "ScenarioGrid",
     chain: "TaskChain | TaskGraph",
     devices: Sequence[str] | None,
     bases: dict,
@@ -522,14 +573,15 @@ def _run_baseline_shard(
     fault_spec: tuple | None = None,
 ) -> _BaselinePass:
     """Baseline sweep of one contiguous range (runs inside a worker process)."""
-    tables = _build_shard_tables(chain, platforms, devices, fault_spec)
+    tables = _build_shard_tables(chain, platform, scenarios, devices, fault_spec)
     return _sweep_baselines(
         tables, bases, baseline_names, constraints, batch_size, shard_start, shard_stop
     )
 
 
 def _run_selection_shard(
-    platforms: list,
+    platform,
+    scenarios: "ScenarioGrid",
     chain: "TaskChain | TaskGraph",
     devices: Sequence[str] | None,
     coerced: tuple,
@@ -543,11 +595,92 @@ def _run_selection_shard(
     fault_spec: tuple | None = None,
 ) -> _SelectionPass:
     """Selection sweep of one contiguous range (runs inside a worker process)."""
-    tables = _build_shard_tables(chain, platforms, devices, fault_spec)
+    tables = _build_shard_tables(chain, platform, scenarios, devices, fault_spec)
     return _sweep_selection(
         tables, coerced, bases, top_k, constraints, baselines, batch_size,
         shard_start, shard_stop,
     )
+
+
+# -- scenario sharding -------------------------------------------------------
+#
+# Each scenario shard is a single-worker process pool whose initializer builds
+# the grid tables of one contiguous scenario block.  For every placement
+# chunk, all shards evaluate the same placements against their scenario rows;
+# the parent ANDs the feasibility masks and concatenates the raw value
+# matrices along the scenario axis (in shard order), reconstructing exactly
+# the serial sweep's ``(s, n)`` chunk -- every fold, reduction and tie rule
+# then runs on bit-identical inputs.
+
+_SCENARIO_SHARD: dict = {}
+
+
+def _init_scenario_shard(
+    platform,
+    scenarios: "ScenarioGrid",
+    chain: "TaskChain | TaskGraph",
+    devices: Sequence[str] | None,
+    fault_spec: tuple | None,
+    bases: dict,
+    constraints: tuple,
+) -> None:
+    """Build one scenario block's tables inside its worker process."""
+    _SCENARIO_SHARD["tables"] = _build_shard_tables(
+        chain, platform, scenarios, devices, fault_spec
+    )
+    _SCENARIO_SHARD["bases"] = bases
+    _SCENARIO_SHARD["constraints"] = constraints
+
+
+def _scenario_shard_chunk(
+    start: int, stop: int
+) -> tuple[np.ndarray, dict[str, np.ndarray] | None]:
+    """Evaluate one placement chunk against this worker's scenario block.
+
+    Returns the shard-local feasibility mask and the **raw, unmasked**
+    ``(s_shard, n)`` base-value matrices; masking happens in the parent after
+    the shard masks are merged.
+    """
+    chunks = _grid_chunk_stream(
+        _SCENARIO_SHARD["tables"],
+        _SCENARIO_SHARD["bases"],
+        _SCENARIO_SHARD["constraints"],
+        stop - start,
+        start,
+        stop,
+    )
+    (_, _, mask, values), = chunks
+    return mask, values
+
+
+def _scenario_sharded_chunks(
+    pools: Sequence,
+    batch_size: int,
+    start: int,
+    stop: int,
+) -> "Iterable[tuple[int, int, np.ndarray, dict[str, np.ndarray] | None]]":
+    """Merge per-shard chunk evaluations back into the serial chunk stream."""
+    cursor = start
+    while cursor < stop:
+        chunk_stop = min(cursor + batch_size, stop)
+        futures = [pool.submit(_scenario_shard_chunk, cursor, chunk_stop) for pool in pools]
+        parts = [future.result() for future in futures]
+        mask = parts[0][0].copy()
+        for shard_mask, _ in parts[1:]:
+            mask &= shard_mask
+        values: dict[str, np.ndarray] | None = None
+        if mask.any():
+            # A surviving placement is feasible in every shard, so every shard
+            # produced a value matrix.
+            names = parts[0][1].keys()
+            values = {
+                name: np.concatenate(
+                    [part_values[name] for _, part_values in parts], axis=0
+                )
+                for name in names
+            }
+        yield cursor, chunk_stop - cursor, mask, values
+        cursor = chunk_stop
 
 
 def _planner_baseline_reason(
@@ -594,6 +727,7 @@ def search_grid(
     start: int = 0,
     stop: int | None = None,
     n_workers: int | None = None,
+    scenario_shards: int | None = None,
     baseline_method: str = "auto",
     faults=None,
     retry=None,
@@ -611,6 +745,15 @@ def search_grid(
     across worker processes exactly like :func:`~repro.search.search_space`;
     shard results merge associatively, so the outcome is identical to the
     serial sweep.
+
+    ``scenario_shards`` splits along the *other* axis: each worker process
+    holds the grid tables of one contiguous scenario block and evaluates
+    every placement chunk against its block; the parent stitches the
+    per-shard value matrices back together along the scenario axis before
+    any reduction runs, so the result is bitwise identical to the serial
+    sweep.  Scenario sharding pays off when the scenario count dominates the
+    chunk cost; it is mutually exclusive with ``n_workers > 1`` (shard one
+    axis or the other, not both).
 
     Constraints are enforced *robustly*: a placement is feasible only if it
     satisfies every constraint under every scenario.  Regret objectives need
@@ -637,16 +780,14 @@ def search_grid(
             "fault-aware evaluation needs retry=RetryPolicy(...); "
             "got faults/timeout without a retry policy"
         )
-    platforms, scenario_names, grid_weights = _scenario_platforms(executor, scenarios)
+    grid, scenario_names, grid_weights = _scenario_entries(scenarios)
     fault_spec = (faults, retry, timeout) if retry is not None else None
     # The driving process serves its tables from the executor's shared
     # content-addressed cache (shard workers, living in other processes,
     # rebuild locally via the same build_tables path).
-    from ..scenarios import ScenarioGrid
-
     tables = executor.grid_cost_tables(
         chain,
-        scenarios if isinstance(scenarios, ScenarioGrid) else platforms,
+        grid,
         devices,
         faults=faults,
         retry=retry,
@@ -691,6 +832,89 @@ def search_grid(
     ranges = _shard_ranges(start, stop, n_workers) if n_workers and n_workers > 1 else []
     sharded = len(ranges) > 1
 
+    if scenario_shards is not None and scenario_shards < 1:
+        raise ValueError("scenario_shards must be >= 1")
+    n_shards = min(scenario_shards, tables.n_scenarios) if scenario_shards else 1
+    if n_shards > 1 and sharded:
+        raise ValueError(
+            "scenario_shards and n_workers > 1 are mutually exclusive: "
+            "shard across scenarios or across placements, not both"
+        )
+    scenario_pools: list = []
+    if n_shards > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..scenarios import ScenarioGrid
+
+        for lo, hi in _shard_ranges(0, tables.n_scenarios, n_shards):
+            scenario_pools.append(
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_scenario_shard,
+                    initargs=(
+                        executor.platform,
+                        ScenarioGrid(grid.scenarios[lo:hi]),
+                        chain,
+                        devices,
+                        fault_spec,
+                        bases,
+                        tuple(constraints),
+                    ),
+                )
+            )
+
+    try:
+        return _search_grid_passes(
+            executor=executor,
+            chain=chain,
+            grid=grid,
+            scenario_names=scenario_names,
+            tables=tables,
+            coerced=coerced,
+            bases=bases,
+            base_names=base_names,
+            top_k=top_k,
+            constraints=constraints,
+            devices=devices,
+            batch_size=batch_size,
+            start=start,
+            stop=stop,
+            total=total,
+            ranges=ranges,
+            sharded=sharded,
+            scenario_pools=scenario_pools,
+            baseline_method=baseline_method,
+            fault_spec=fault_spec,
+        )
+    finally:
+        for pool in scenario_pools:
+            pool.shutdown()
+
+
+def _search_grid_passes(
+    *,
+    executor: "SimulatedExecutor",
+    chain: "TaskChain | TaskGraph",
+    grid: "ScenarioGrid",
+    scenario_names: tuple[str, ...],
+    tables: "GridCostTables",
+    coerced: tuple[RobustObjective, ...],
+    bases: "dict[str, str | Objective]",
+    base_names: list,
+    top_k: int,
+    constraints: Sequence[Constraint],
+    devices: Sequence[str] | None,
+    batch_size: int,
+    start: int,
+    stop: int,
+    total: int,
+    ranges: list,
+    sharded: bool,
+    scenario_pools: list,
+    baseline_method: str,
+    fault_spec: tuple | None,
+) -> GridSearchResult:
+    """The two streaming passes of :func:`search_grid` (pools already set up)."""
     # -- pass 1 (only when regret objectives are present): baselines --------
     baseline_names = tuple(
         dict.fromkeys(
@@ -728,7 +952,8 @@ def search_grid(
                     *zip(
                         *[
                             (
-                                platforms,
+                                executor.platform,
+                                grid,
                                 chain,
                                 devices,
                                 bases,
@@ -751,6 +976,14 @@ def search_grid(
                         merged_baselines.merge(shard)
             if merged_baselines.any_feasible:
                 baselines = merged_baselines.minima
+        elif scenario_pools:
+            sweep = _fold_baselines(
+                tables.n_scenarios,
+                _scenario_sharded_chunks(scenario_pools, batch_size, start, stop),
+                baseline_names,
+            )
+            if sweep.any_feasible:
+                baselines = sweep.minima
         else:
             sweep = _sweep_baselines(
                 tables, bases, baseline_names, constraints, batch_size, start, stop
@@ -768,7 +1001,8 @@ def search_grid(
                 *zip(
                     *[
                         (
-                            platforms,
+                            executor.platform,
+                            grid,
                             chain,
                             devices,
                             coerced,
@@ -791,6 +1025,15 @@ def search_grid(
                     selection = shard
                 else:
                     selection.merge(shard)
+    elif scenario_pools:
+        selection = _fold_selection(
+            tables.n_scenarios,
+            _scenario_sharded_chunks(scenario_pools, batch_size, start, stop),
+            coerced,
+            bases,
+            top_k,
+            baselines,
+        )
     else:
         selection = _sweep_selection(
             tables, coerced, bases, top_k, constraints, baselines, batch_size, start, stop

@@ -469,11 +469,11 @@ class TestGridPlanner:
             top_k=1,
             baseline_method="stream",
         )
-        from repro.devices.grid import build_grid_tables
-        from repro.search.robust import _scenario_platforms
+        from repro.devices.tables import build_tables
+        from repro.search.robust import _scenario_entries
 
-        platforms, _, _ = _scenario_platforms(executor, scenarios)
-        tables = build_grid_tables(chain, platforms, None)
+        grid, _, _ = _scenario_entries(scenarios)
+        tables = build_tables(chain, executor.platform, scenarios=grid)
         for base in ("time", "energy"):
             assert np.array_equal(grid_baselines(tables, base), streamed.baselines[base])
 
