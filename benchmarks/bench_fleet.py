@@ -1,0 +1,262 @@
+"""Benchmark fleet-scale simulation: a 10**5-user population end-to-end.
+
+The fleet pipeline samples a weighted user population from a
+:class:`~repro.fleet.FleetSpec` (one weighted scenario per user), builds the
+fused grid cost tables for the whole population at once, evaluates every
+(user, placement) pair in one vectorized pass, and reduces the per-user time
+matrix to a weighted tail objective (p95 across the fleet).  Nothing in the
+pipeline materializes per-user ``Platform`` objects or loops over users, so
+a 100,000-user fleet is evaluated end-to-end in seconds -- the pinned floor
+is the (user x placement) pair throughput of the whole pipeline.
+
+Also pinned:
+
+* ``delta_rebuild`` -- population drift.  ``SampledFleet.resample_users``
+  redraws a slice of the fleet from its segment distributions and the table
+  rebuild goes through ``updated_many`` (only the redrawn users' condition
+  slices are recomputed), asserted bitwise against a full rebuild of the
+  drifted grid before any timing counts.
+* The weighted p95 reduction itself is asserted bitwise against a direct
+  sort/cumsum evaluation of the left-continuous inverse CDF.
+
+Set ``BENCH_FLEET_SMALL=1`` (the CI smoke job does) for a reduced fleet with
+relaxed floors.  Results land in ``BENCH_fleet.json`` /
+``BENCH_fleet_small.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.devices import edge_cluster_platform
+from repro.devices.grid import execute_placements_grid
+from repro.devices.tables import build_tables
+from repro.fleet import FleetSpec, NormalAxis, UniformAxis, UserSegment, sample_fleet
+from repro.offload import placement_matrix
+from repro.scenarios import DeviceLoadFactor, LinkBandwidthScale, LinkLatencyScale
+from repro.search import QuantileObjective
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+SMALL = os.environ.get("BENCH_FLEET_SMALL", "") not in ("", "0")
+
+if SMALL:
+    N_USERS = 2_000
+    DRIFT_USERS = 50
+    PAIRS_PER_S_FLOOR = 1_000.0
+    DELTA_FLOOR = 1.3
+else:
+    N_USERS = 100_000
+    DRIFT_USERS = 1_000
+    PAIRS_PER_S_FLOOR = 10_000.0
+    DELTA_FLOOR = 2.0
+
+SEED = 0
+N_TASKS = 2  # 4**2 = 16 placements on the 4-device edge cluster
+QUANTILE = 0.95
+
+
+def build_chain(n_tasks: int) -> TaskChain:
+    tasks = [
+        RegularizedLeastSquaresTask(
+            size=60 + 60 * i, iterations=8, name=f"L{i + 1}", generate_on_host=False
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name=f"bench-fleet-{n_tasks}")
+
+
+def build_spec() -> FleetSpec:
+    """Three user segments: good wifi, congested cellular, loaded hosts."""
+    return FleetSpec(
+        segments=(
+            UserSegment(
+                "office-wifi",
+                weight=6.0,
+                axes=(
+                    UniformAxis(LinkBandwidthScale(), 0.8, 1.3),
+                    UniformAxis(LinkLatencyScale(), 0.8, 1.5),
+                ),
+            ),
+            UserSegment(
+                "congested-cell",
+                weight=3.0,
+                axes=(
+                    UniformAxis(LinkBandwidthScale(), 0.1, 0.45),
+                    UniformAxis(LinkLatencyScale(), 2.0, 6.0),
+                ),
+            ),
+            UserSegment(
+                "loaded-host",
+                weight=1.0,
+                axes=(
+                    NormalAxis(
+                        DeviceLoadFactor(devices=("D",)),
+                        mean=1.6,
+                        std=0.3,
+                        low=1.0,
+                        high=2.5,
+                    ),
+                ),
+            ),
+        )
+    )
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time of ``repeats`` runs, GC parked while timing."""
+    gc.collect()
+    gc.disable()
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return best
+
+
+def _manual_weighted_quantile(values: np.ndarray, weights: np.ndarray, q: float) -> np.ndarray:
+    """Left-continuous inverse CDF per placement column, straight numpy."""
+    out = np.empty(values.shape[1])
+    for column in range(values.shape[1]):
+        order = np.argsort(values[:, column], kind="stable")
+        cumulative = np.cumsum(weights[order])
+        index = int(np.searchsorted(cumulative, q * cumulative[-1], side="left"))
+        out[column] = values[order[min(index, len(order) - 1)], column]
+    return out
+
+
+#: The per-scenario arrays a condition slice carries (bitwise-compared).
+SLICE_FIELDS = (
+    "busy", "hostio_time", "energy_in", "energy_out", "penalty_time",
+    "penalty_energy", "first_penalty_time", "first_penalty_energy",
+    "power_active", "power_idle", "cost_per_hour", "extra_idle_power",
+)
+
+
+def test_fleet_pipeline_evaluates_100k_users_in_seconds(benchmark, bench_once, bench_json):
+    """Sample + build + execute + reduce for the whole fleet, with floors."""
+    platform = edge_cluster_platform()
+    chain = build_chain(N_TASKS)
+    spec = build_spec()
+    matrix = placement_matrix(len(chain), len(platform.aliases))
+    n_placements = matrix.shape[0]
+    pairs = N_USERS * n_placements
+    objective = QuantileObjective(q=QUANTILE)
+    repeats = 2 if SMALL else 1
+
+    # -- equivalence (untimed) ------------------------------------------------
+    fleet = sample_fleet(spec, N_USERS, seed=SEED)
+    tables = build_tables(chain, platform, scenarios=fleet.grid)
+    result = execute_placements_grid(tables, matrix)
+    weights = fleet.grid.weights
+    reduced = objective.bind_weights(weights).reduce(result.total_time_s)
+    manual = _manual_weighted_quantile(result.total_time_s, weights, QUANTILE)
+    assert reduced.tobytes() == manual.tobytes(), (
+        "weighted p95 reduction diverged from the direct inverse-CDF evaluation"
+    )
+    pick = int(np.argmin(reduced))
+
+    # Population drift: redraw DRIFT_USERS users, delta rebuild == full rebuild.
+    drift_indices = range(0, fleet.n_users, max(1, fleet.n_users // DRIFT_USERS))
+    drifted, replacements = fleet.resample_users(drift_indices, seed=SEED + 1)
+    delta_tables = tables.updated_many(replacements)
+    full_tables = build_tables(chain, platform, scenarios=drifted.grid)
+    for field in SLICE_FIELDS:
+        assert getattr(delta_tables, field).tobytes() == getattr(full_tables, field).tobytes()
+    assert delta_tables.fingerprint == full_tables.fingerprint
+    del delta_tables, full_tables, result, tables
+
+    # -- timed phases ---------------------------------------------------------
+    sample_s = _best_of(lambda: sample_fleet(spec, N_USERS, seed=SEED), repeats)
+
+    timed_tables = []
+    build_s = _best_of(
+        lambda: timed_tables.append(build_tables(chain, platform, scenarios=fleet.grid)),
+        repeats,
+    )
+    timed = timed_tables[-1]
+
+    timed_results = []
+    execute_s = _best_of(
+        lambda: timed_results.append(execute_placements_grid(timed, matrix)), repeats
+    )
+    times = timed_results[-1].total_time_s
+
+    bound = objective.bind_weights(weights)
+    reduce_s = _best_of(lambda: bound.reduce(times), max(3, repeats))
+    end_to_end_s = sample_s + build_s + execute_s + reduce_s
+    pairs_per_s = pairs / end_to_end_s
+
+    delta_s = _best_of(lambda: timed.updated_many(replacements), repeats)
+    full_rebuild_s = _best_of(
+        lambda: build_tables(chain, platform, scenarios=drifted.grid), repeats
+    )
+    delta_speedup = full_rebuild_s / delta_s
+
+    print(
+        f"\n{platform.name}: {N_USERS} users x {n_placements} placements "
+        f"({pairs} pairs), {len(spec.segments)} segments"
+        f"\n  sample fleet:        {sample_s:8.2f} s"
+        f"\n  fused table build:   {build_s:8.2f} s"
+        f"\n  vectorized execute:  {execute_s:8.2f} s"
+        f"\n  weighted p95 reduce: {reduce_s:8.2f} s"
+        f"\n  end-to-end:          {end_to_end_s:8.2f} s  "
+        f"({pairs_per_s:,.0f} pairs/s, floor {PAIRS_PER_S_FLOOR:,.0f}/s)"
+        f"\n  fleet p95 optimum:   placement #{pick}"
+        f"\n  drift ({len(replacements)} users): delta {delta_s:.2f} s vs "
+        f"full {full_rebuild_s:.2f} s  ({delta_speedup:.1f}x, floor {DELTA_FLOOR}x)"
+    )
+
+    bench_json(
+        "fleet_small" if SMALL else "fleet",
+        {
+            "workload": {
+                "platform": platform.name,
+                "n_devices": len(platform.aliases),
+                "n_tasks": N_TASKS,
+                "n_placements": n_placements,
+                "n_users": N_USERS,
+                "n_segments": len(spec.segments),
+                "pairs": pairs,
+                "drift_users": len(replacements),
+                "quantile": QUANTILE,
+                "small": SMALL,
+            },
+            "seconds": {
+                "sample": sample_s,
+                "build": build_s,
+                "execute": execute_s,
+                "reduce": reduce_s,
+                "end_to_end": end_to_end_s,
+                "delta_rebuild": delta_s,
+                "full_rebuild": full_rebuild_s,
+            },
+            "throughputs": {
+                "fleet_pairs_per_s": pairs_per_s,
+            },
+            "speedups": {
+                "delta_rebuild": delta_speedup,
+            },
+            "floors": {
+                "fleet_pairs_per_s": PAIRS_PER_S_FLOOR,
+                "delta_rebuild": DELTA_FLOOR,
+            },
+        },
+    )
+    assert pairs_per_s >= PAIRS_PER_S_FLOOR, (
+        f"fleet pipeline regressed: {pairs_per_s:,.0f} (user, placement) pairs/s "
+        f"< {PAIRS_PER_S_FLOOR:,.0f}/s end-to-end"
+    )
+    assert delta_speedup >= DELTA_FLOOR, (
+        f"drift delta rebuild regressed: {delta_speedup:.1f}x < {DELTA_FLOOR}x "
+        f"vs a full fused rebuild"
+    )
+
+    bench_once(benchmark, bound.reduce, times)

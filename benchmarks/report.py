@@ -2,14 +2,16 @@
 
 Each benchmark writes its result next to this script (see
 ``conftest.write_benchmark_json``); this report collects them all and prints
-one row per pinned speedup, sorted by measurement time -- the project's
-performance trajectory from the first batch engine to the exact planner at a
-glance, plus how much headroom each pin has over its CI floor.
+one row per pinned metric -- relative speedups and absolute throughputs
+(``"throughputs"``, rendered as ``.../s``) -- sorted by measurement time:
+the project's performance trajectory from the first batch engine to the
+fleet pipeline at a glance, plus how much headroom each pin has over its CI
+floor.
 
 Run it directly (``PYTHONPATH=src python benchmarks/report.py``); the CI job
 does after the smoke benchmarks refresh the ``*_small`` files.  Exits
-non-zero if any recorded speedup sits below its recorded floor, so a stale
-or regressed JSON cannot slip through silently.
+non-zero if any recorded speedup or throughput sits below its recorded
+floor, so a stale or regressed JSON cannot slip through silently.
 """
 
 from __future__ import annotations
@@ -62,6 +64,7 @@ def _workload_summary(workload: dict) -> str:
         "n_tasks",
         "n_placements",
         "n_scenarios",
+        "n_users",
         "delta_scenarios",
         "n_measurements",
         "stream_placements",
@@ -74,7 +77,7 @@ def _workload_summary(workload: dict) -> str:
 
 
 def trajectory_rows(results: list[dict]) -> tuple[list[tuple[str, ...]], list[str]]:
-    """One table row per pinned speedup; also collects floor violations."""
+    """One table row per pinned speedup/throughput; also collects floor violations."""
     rows: list[tuple[str, ...]] = []
     violations: list[str] = []
     for payload in results:
@@ -99,6 +102,23 @@ def trajectory_rows(results: list[dict]) -> tuple[list[tuple[str, ...]], list[st
                     workload,
                 )
             )
+        for metric, throughput in sorted(payload.get("throughputs", {}).items()):
+            floor = floors.get(metric)
+            if floor is not None and throughput < floor:
+                violations.append(
+                    f"{name}:{metric} throughput {throughput:,.0f}/s below floor {floor:,.0f}/s"
+                )
+            rows.append(
+                (
+                    name,
+                    metric,
+                    f"{throughput:,.0f}/s",
+                    f"{floor:,.0f}/s" if floor is not None else "-",
+                    f"{throughput / floor:,.0f}x" if floor else "-",
+                    date,
+                    workload,
+                )
+            )
     return rows, violations
 
 
@@ -117,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(
         format_table(
-            ("benchmark", "metric", "speedup", "floor", "margin", "measured", "workload"),
+            ("benchmark", "metric", "value", "floor", "margin", "measured", "workload"),
             rows,
         )
     )

@@ -33,8 +33,9 @@ import dataclasses
 import hashlib
 import math
 from collections import OrderedDict
+from collections.abc import Mapping
 from functools import lru_cache
-from typing import Any, Callable, Hashable, Mapping
+from typing import Any, Callable, Hashable
 
 import numpy as np
 
@@ -69,6 +70,76 @@ def _canonical_dataclass(obj: Any) -> tuple:
     return (type(obj).__name__, pairs)
 
 
+_CANONICAL_ATTR = "_repro_canonical"
+
+
+@lru_cache(maxsize=None)
+def _condition_axis_class() -> type:
+    from .scenarios.conditions import ConditionAxis
+
+    return ConditionAxis
+
+
+@lru_cache(maxsize=None)
+def _scenario_class() -> type:
+    from .scenarios.conditions import Scenario
+
+    return Scenario
+
+
+def _canonical_scenario(obj: Any) -> tuple:
+    """Direct canonical form of a :class:`Scenario` -- the grid-fingerprint
+    hot path.
+
+    Bitwise-identical to :func:`_canonical_dataclass` output (pinned by
+    tests), but assembled without the generic field walk: ``__post_init__``
+    guarantees ``settings`` is a tuple of ``(axis, float)`` pairs and axes
+    carry a memoized canonical form, so a 10**5-scenario fleet fingerprints
+    without 10**6 recursive ``canonical`` dispatches.
+    """
+    settings = tuple(
+        (_canonical_condition_axis(axis), _canonical_float(value))
+        for axis, value in obj.settings
+    )
+    return (
+        "Scenario",
+        (
+            ("name", obj.name),
+            ("settings", settings),
+            ("weight", _canonical_float(obj.weight)),
+        ),
+    )
+
+
+@lru_cache(maxsize=None)
+def _domain_classes() -> tuple:
+    # Late imports memoized once: cache is a leaf module every layer above may
+    # import, but re-running the import machinery on every recursive
+    # ``canonical`` call dominates grid fingerprinting at fleet scale.
+    from .devices.platform import Platform
+    from .tasks.chain import TaskChain
+    from .tasks.graph import TaskGraph
+    from .tasks.task import MathTask
+
+    return Platform, TaskChain, TaskGraph, MathTask
+
+
+def _canonical_condition_axis(obj: Any) -> tuple:
+    """Canonical form of a condition axis, memoized on the instance.
+
+    A sampled fleet references the *same* handful of frozen axis objects from
+    every one of its (possibly 10**5) scenarios; re-walking the axis dataclass
+    per scenario dominates grid fingerprinting at fleet scale.  Axes are
+    frozen value types with primitive fields, so the canonical tuple is stable
+    for the instance's lifetime and the memo cannot go stale.
+    """
+    cached = getattr(obj, _CANONICAL_ATTR, None)
+    if cached is None:
+        cached = _canonical_dataclass(obj)
+        object.__setattr__(obj, _CANONICAL_ATTR, cached)
+    return cached
+
+
 def canonical(obj: Any) -> Any:
     """Reduce ``obj`` to a nested tuple of primitives with a stable ``repr``.
 
@@ -77,11 +148,7 @@ def canonical(obj: Any) -> Any:
     get shape-aware treatment; unknown types raise ``TypeError`` rather than
     silently fingerprinting an identity.
     """
-    # Late imports: cache is a leaf module every layer above may import.
-    from .devices.platform import Platform
-    from .tasks.chain import TaskChain
-    from .tasks.graph import TaskGraph
-    from .tasks.task import MathTask
+    Platform, TaskChain, TaskGraph, MathTask = _domain_classes()
 
     if obj is None or isinstance(obj, (str, int, bool)):
         return obj
@@ -111,6 +178,10 @@ def canonical(obj: Any) -> Any:
     if isinstance(obj, MathTask):
         return ("MathTask", type(obj).__name__, obj.name, canonical(obj.cost()))
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        if isinstance(obj, _condition_axis_class()):
+            return _canonical_condition_axis(obj)
+        if type(obj) is _scenario_class():
+            return _canonical_scenario(obj)
         return _canonical_dataclass(obj)
     if isinstance(obj, Mapping):
         return ("mapping", tuple(sorted((canonical(k), canonical(v)) for k, v in obj.items())))

@@ -12,6 +12,7 @@ Experiment ids (see DESIGN.md, per-experiment index):
 * ``forkjoin``         -- DAG-aware vs chain-linearized placement of a fork-join code.
 * ``planner_scale``    -- enumerator -> exact-DP crossover and the 4**200 scale sweep.
 * ``faulttolerance``   -- fault-blind vs fault-aware placement along a failure-rate sweep.
+* ``fleet``            -- fleet-optimal vs per-segment placement over a sampled user population.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from . import (
     faulttolerance,
     figure1,
     figure2,
+    fleet,
     forkjoin,
     planner_scale,
     robustness,
@@ -36,6 +38,7 @@ from .energy_switching import EnergySwitchingConfig, EnergySwitchingResult
 from .faulttolerance import FaultToleranceConfig, FaultToleranceResult
 from .figure1 import Figure1Config, Figure1Result
 from .figure2 import Figure2Config, Figure2Result, paper_oracle
+from .fleet import FleetConfig, FleetResult
 from .forkjoin import ForkJoinConfig, ForkJoinResult
 from .planner_scale import PlannerScaleConfig, PlannerScaleResult
 from .robustness import RobustnessConfig, RobustnessResult
@@ -68,6 +71,8 @@ __all__ = [
     "PlannerScaleResult",
     "FaultToleranceConfig",
     "FaultToleranceResult",
+    "FleetConfig",
+    "FleetResult",
 ]
 
 #: Registry: experiment id -> runner callable (each accepts an optional config object).
@@ -82,6 +87,7 @@ EXPERIMENTS: Mapping[str, Callable[..., Any]] = {
     "forkjoin": forkjoin.run,
     "planner_scale": planner_scale.run,
     "faulttolerance": faulttolerance.run,
+    "fleet": fleet.run,
 }
 
 

@@ -563,8 +563,12 @@ class Scenario:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
-        if self.weight < 0:
-            raise ValueError("scenario weight must be non-negative")
+        # NaN compares False against every bound, so `weight < 0` alone would
+        # wave non-finite weights through into weighted reductions.
+        if not math.isfinite(self.weight) or self.weight < 0:
+            raise ValueError(
+                f"scenario weight must be finite and non-negative, got {self.weight!r}"
+            )
         object.__setattr__(self, "settings", tuple((axis, float(v)) for axis, v in self.settings))
 
     def describe(self) -> str:

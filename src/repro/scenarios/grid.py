@@ -10,6 +10,7 @@ wifi->lte sweep of the robustness experiment.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from itertools import product
 from typing import Iterator, Sequence
@@ -61,10 +62,19 @@ class ScenarioGrid:
             if not list(values):
                 raise ValueError(f"axis {axis.name!r} has no values")
         combos = list(product(*[list(values) for _, values in axes]))
-        if weights is not None and len(weights) != len(combos):
-            raise ValueError(
-                f"expected {len(combos)} weights (one per grid point), got {len(weights)}"
-            )
+        if weights is not None:
+            if len(weights) != len(combos):
+                raise ValueError(
+                    f"expected {len(combos)} weights (one per grid point), got {len(weights)}"
+                )
+            # Validate here so a bad weight names the caller's index, not the
+            # generated scenario the per-point constructor would blame.
+            for i, weight in enumerate(weights):
+                w = float(weight)
+                if not math.isfinite(w) or w < 0:
+                    raise ValueError(
+                        f"weights[{i}] must be finite and non-negative, got {weight!r}"
+                    )
         scenarios = []
         for i, combo in enumerate(combos):
             settings = tuple((axis, value) for (axis, _), value in zip(axes, combo))

@@ -55,9 +55,11 @@ from .planner import (
 from .robust import (
     ExpectedValueObjective,
     GridSearchResult,
+    QuantileObjective,
     RegretObjective,
     RobustObjective,
     ScenarioBest,
+    SLOObjective,
     WorstCaseObjective,
     as_robust_objectives,
     search_grid,
@@ -79,6 +81,8 @@ __all__ = [
     "RobustObjective",
     "WorstCaseObjective",
     "ExpectedValueObjective",
+    "QuantileObjective",
+    "SLOObjective",
     "RegretObjective",
     "as_robust_objectives",
     "SpaceSearch",

@@ -7,8 +7,11 @@ across a whole :class:`~repro.scenarios.ScenarioGrid`:
 * **robust objectives** collapse the ``(n_conditions, n_placements)`` metric
   grid to one (minimised) scalar per placement -- the worst case over
   scenarios (:class:`WorstCaseObjective`), the scenario-weighted expectation
-  (:class:`ExpectedValueObjective`), or the maximum regret against each
-  scenario's own best placement (:class:`RegretObjective`);
+  (:class:`ExpectedValueObjective`), the weighted tail quantile
+  (:class:`QuantileObjective`, e.g. a fleet's p95 latency), the weighted
+  fraction of scenarios missing a budget (:class:`SLOObjective`), or the
+  maximum regret against each scenario's own best placement
+  (:class:`RegretObjective`);
 * :func:`search_grid` streams the placement space chunk by chunk through
   :func:`~repro.devices.grid.execute_placements_grid`, folds each chunk into
   bounded :class:`~repro.search.topk.StreamingTopK` state per robust
@@ -22,6 +25,7 @@ pickling.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
@@ -45,12 +49,33 @@ __all__ = [
     "RobustObjective",
     "WorstCaseObjective",
     "ExpectedValueObjective",
+    "QuantileObjective",
+    "SLOObjective",
     "RegretObjective",
     "ScenarioBest",
     "GridSearchResult",
     "as_robust_objectives",
     "search_grid",
 ]
+
+
+def _validate_weights(weights: Sequence[float]) -> tuple[float, ...]:
+    """Coerce and validate per-scenario weights shared by weighted objectives.
+
+    NaN compares ``False`` against every bound, so a bare ``w < 0`` check
+    would wave non-finite weights through into ``weights @ values`` and turn
+    every robust value into NaN with no error -- hence the explicit
+    finiteness guard.
+    """
+    coerced = tuple(float(w) for w in weights)
+    for i, w in enumerate(coerced):
+        if not math.isfinite(w) or w < 0:
+            raise ValueError(
+                f"scenario weights must be finite and non-negative, got weights[{i}]={w!r}"
+            )
+    if sum(coerced) <= 0:
+        raise ValueError("at least one scenario weight must be positive")
+    return coerced
 
 
 def _base_values(base: "str | Objective", grid: "GridExecutionResult") -> np.ndarray:
@@ -100,6 +125,12 @@ class RobustObjective:
         """Per-scenario base values of one grid chunk, shape ``(s, n)``."""
         return _base_values(self.base, grid)
 
+    def bind_weights(self, weights: Sequence[float]) -> "RobustObjective":
+        """Bind the searched grid's scenario weights where the objective wants
+        them and was constructed without explicit weights; the driver calls
+        this once per sweep.  Unweighted objectives return themselves."""
+        return self
+
     def reduce(
         self, values: np.ndarray, baselines: np.ndarray | None = None
     ) -> np.ndarray:  # pragma: no cover - abstract
@@ -143,16 +174,14 @@ class ExpectedValueObjective(RobustObjective):
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.weights is not None:
-            weights = tuple(float(w) for w in self.weights)
-            if any(w < 0 for w in weights):
-                raise ValueError("scenario weights must be non-negative")
-            if sum(weights) <= 0:
-                raise ValueError("at least one scenario weight must be positive")
-            object.__setattr__(self, "weights", weights)
+            object.__setattr__(self, "weights", _validate_weights(self.weights))
 
     def with_weights(self, weights: Sequence[float]) -> "ExpectedValueObjective":
         """Copy with explicit weights (the driver binds grid weights here)."""
         return ExpectedValueObjective(base=self.base, label=self.label, weights=tuple(weights))
+
+    def bind_weights(self, weights: Sequence[float]) -> "ExpectedValueObjective":
+        return self if self.weights is not None else self.with_weights(weights)
 
     def reduce(self, values: np.ndarray, baselines: np.ndarray | None = None) -> np.ndarray:
         if self.weights is None:
@@ -163,6 +192,131 @@ class ExpectedValueObjective(RobustObjective):
             )
         weights = np.array(self.weights)
         return weights @ values / weights.sum()
+
+
+def _weighted_quantile_columns(
+    values: np.ndarray, weights: np.ndarray, q: float
+) -> np.ndarray:
+    """Weighted ``q``-quantile of each column of a ``(s, n)`` value matrix.
+
+    Per column: sort the scenario values (stable, so ties keep grid order),
+    accumulate the correspondingly permuted weights, and return the first
+    sorted value whose cumulative weight reaches ``q`` times the total.  This
+    is the left-continuous inverse of the weighted empirical CDF: with equal
+    weights and ``q = 1.0`` it is exactly the column maximum, and scenarios
+    carrying zero weight can never be picked ahead of the quantile point.
+    The reduction touches each column independently, so it is invariant to
+    how the placement axis is chunked.
+    """
+    order = np.argsort(values, axis=0, kind="stable")
+    sorted_values = np.take_along_axis(values, order, axis=0)
+    cumulative = np.cumsum(weights[order], axis=0)
+    target = q * cumulative[-1]
+    picks = (cumulative >= target).argmax(axis=0)
+    return sorted_values[picks, np.arange(values.shape[1])]
+
+
+@dataclass(frozen=True)
+class QuantileObjective(RobustObjective):
+    """Minimise a weighted tail quantile of the base objective over scenarios.
+
+    The fleet-scale risk measure: with one scenario per sampled user,
+    ``QuantileObjective(q=0.95)`` ranks placements by the latency the worst
+    5% (by weight) of the fleet experiences.  ``weights`` defaults to the
+    scenario weights of the grid being searched (uniform when the objective
+    is applied directly to a bare grid).  The quantile is the left-continuous
+    inverse of the weighted empirical CDF; with equal weights ``q=1.0``
+    coincides with :class:`WorstCaseObjective` exactly.
+
+    The reduction is a pure per-placement function of the complete
+    ``(n_scenarios, n_placements)`` value matrix, and :func:`search_grid`
+    reassembles scenario-sharded chunks along the scenario axis *before* any
+    reduction runs -- sharded weighted quantiles are therefore bitwise
+    identical to the serial sweep.
+    """
+
+    q: float = 0.95
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.q <= 1.0:
+            raise ValueError(f"quantile q must lie in (0, 1], got {self.q!r}")
+        if self.weights is not None:
+            object.__setattr__(self, "weights", _validate_weights(self.weights))
+
+    @property
+    def name(self) -> str:
+        return self.label or f"p{self.q * 100:g}-{_base_name(self.base)}"
+
+    def with_weights(self, weights: Sequence[float]) -> "QuantileObjective":
+        return QuantileObjective(
+            base=self.base, label=self.label, q=self.q, weights=tuple(weights)
+        )
+
+    def bind_weights(self, weights: Sequence[float]) -> "QuantileObjective":
+        return self if self.weights is not None else self.with_weights(weights)
+
+    def reduce(self, values: np.ndarray, baselines: np.ndarray | None = None) -> np.ndarray:
+        if self.weights is None:
+            weights = np.ones(values.shape[0])
+        elif len(self.weights) != values.shape[0]:
+            raise ValueError(
+                f"expected {values.shape[0]} scenario weights, got {len(self.weights)}"
+            )
+        else:
+            weights = np.array(self.weights)
+        return _weighted_quantile_columns(values, weights, self.q)
+
+
+@dataclass(frozen=True)
+class SLOObjective(RobustObjective):
+    """Minimise the weighted fraction of scenarios that miss a budget.
+
+    The service-level view of a fleet: with one scenario per sampled user and
+    ``base="time"``, ``SLOObjective(budget=0.25)`` ranks placements by the
+    weighted share of users whose end-to-end latency exceeds 250 ms (strictly
+    ``value > budget`` counts as a miss, so meeting the budget exactly is a
+    hit).  Values are miss fractions in ``[0, 1]``; minimising them maximises
+    SLO attainment.  ``weights`` defaults to the searched grid's scenario
+    weights, like :class:`ExpectedValueObjective`.
+
+    Like the quantile, the reduction is per-placement over the full scenario
+    axis, so scenario-sharded sweeps are bitwise identical to serial ones.
+    """
+
+    budget: float = 0.0
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.budget):
+            raise ValueError(f"SLO budget must be finite, got {self.budget!r}")
+        if self.weights is not None:
+            object.__setattr__(self, "weights", _validate_weights(self.weights))
+
+    @property
+    def name(self) -> str:
+        return self.label or f"slo-{_base_name(self.base)}@{self.budget:g}"
+
+    def with_weights(self, weights: Sequence[float]) -> "SLOObjective":
+        return SLOObjective(
+            base=self.base, label=self.label, budget=self.budget, weights=tuple(weights)
+        )
+
+    def bind_weights(self, weights: Sequence[float]) -> "SLOObjective":
+        return self if self.weights is not None else self.with_weights(weights)
+
+    def reduce(self, values: np.ndarray, baselines: np.ndarray | None = None) -> np.ndarray:
+        misses = (values > self.budget).astype(float)
+        if self.weights is None:
+            return misses.mean(axis=0)
+        if len(self.weights) != values.shape[0]:
+            raise ValueError(
+                f"expected {values.shape[0]} scenario weights, got {len(self.weights)}"
+            )
+        weights = np.array(self.weights)
+        return weights @ misses / weights.sum()
 
 
 @dataclass(frozen=True)
@@ -808,13 +962,9 @@ def search_grid(
         )
 
     coerced = as_robust_objectives(objectives)
-    # Bind the grid's scenario weights to expectation objectives left unbound.
-    coerced = tuple(
-        objective.with_weights(grid_weights)
-        if isinstance(objective, ExpectedValueObjective) and objective.weights is None
-        else objective
-        for objective in coerced
-    )
+    # Bind the grid's scenario weights to weighted objectives left unbound
+    # (expectation, quantile, SLO -- each decides through bind_weights).
+    coerced = tuple(objective.bind_weights(grid_weights) for objective in coerced)
     # Objectives sharing a base *name* must share the base itself: chunk values
     # are computed once per base name, so a silent last-wins collision would
     # rank one objective by another's values.

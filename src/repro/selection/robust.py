@@ -7,7 +7,9 @@ trade-off must hold up across every condition the deployment may encounter.
 robustness criterion: the decision objective is evaluated per scenario
 (through ``DecisionModel.batch_objective``, bitwise the same arithmetic as
 single-platform decisions) and collapsed over the condition axis by worst
-case, scenario-weighted expectation, or minimax regret.
+case, scenario-weighted expectation, minimax regret, a weighted tail
+quantile (``"quantile"``, the fleet's p95/p99 view), or a weighted SLO miss
+fraction (``"slo"``).
 """
 
 from __future__ import annotations
@@ -20,7 +22,13 @@ import numpy as np
 
 from ..core.scores import FinalClustering
 from ..core.types import Label
-from ..search.robust import ExpectedValueObjective, RegretObjective, WorstCaseObjective
+from ..search.robust import (
+    ExpectedValueObjective,
+    QuantileObjective,
+    RegretObjective,
+    SLOObjective,
+    WorstCaseObjective,
+)
 from .decision import DecisionModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["RobustDecisionModel", "RobustDecision"]
 
-_CRITERIA = ("worst_case", "expected", "regret")
+_CRITERIA = ("worst_case", "expected", "regret", "quantile", "slo")
 
 
 @dataclass(frozen=True)
@@ -91,15 +99,24 @@ class RobustDecisionModel:
     criterion:
         ``"worst_case"`` minimises the maximum objective over scenarios;
         ``"expected"`` the (weighted) mean; ``"regret"`` the maximum gap to
-        each scenario's own best candidate.
+        each scenario's own best candidate; ``"quantile"`` the weighted
+        ``q``-quantile over scenarios (the fleet tail view); ``"slo"`` the
+        weighted fraction of scenarios whose objective exceeds
+        ``slo_budget``.
     weights:
-        Scenario weights for ``"expected"`` (defaults to uniform; ignored by
-        the other criteria).
+        Scenario weights for ``"expected"`` / ``"quantile"`` / ``"slo"``
+        (defaults to uniform; ignored by the other criteria).
+    q:
+        The quantile of the ``"quantile"`` criterion (default p95).
+    slo_budget:
+        The objective budget of the ``"slo"`` criterion (required for it).
     """
 
     model: DecisionModel = field(default_factory=DecisionModel)
     criterion: str = "worst_case"
     weights: Sequence[float] | None = None
+    q: float = 0.95
+    slo_budget: float | None = None
 
     def __post_init__(self) -> None:
         if self.criterion not in _CRITERIA:
@@ -109,6 +126,12 @@ class RobustDecisionModel:
         if self.weights is not None:
             # One validation source: the expectation objective owns the rules.
             self.weights = ExpectedValueObjective(weights=tuple(self.weights)).weights
+        if self.criterion == "quantile":
+            QuantileObjective(q=self.q)  # validate q early
+        if self.criterion == "slo":
+            if self.slo_budget is None:
+                raise ValueError("criterion 'slo' needs slo_budget=<objective budget>")
+            SLOObjective(budget=self.slo_budget)  # validate early
 
     # ------------------------------------------------------------------
     def scenario_objectives(self, grid: "GridExecutionResult") -> np.ndarray:
@@ -126,6 +149,10 @@ class RobustDecisionModel:
             return WorstCaseObjective().reduce(values)
         if self.criterion == "expected":
             return ExpectedValueObjective(weights=self.weights).reduce(values)
+        if self.criterion == "quantile":
+            return QuantileObjective(q=self.q, weights=self.weights).reduce(values)
+        if self.criterion == "slo":
+            return SLOObjective(budget=self.slo_budget, weights=self.weights).reduce(values)
         return RegretObjective().reduce(values, values.min(axis=1))
 
     # ------------------------------------------------------------------

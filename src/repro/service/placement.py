@@ -71,8 +71,14 @@ class PlacementRequest:
     name resolved by the service; ``objective`` a metric name (grid requests
     plan its worst case, matching ``search_grid``) or an Objective /
     RobustObjective instance.  ``scenario_grid`` switches the request to
-    robust evaluation over the grid's conditions.  Fault arguments follow the
-    executor's contract: ``faults``/``timeout`` need ``retry``.
+    robust evaluation over the grid's conditions; a
+    :class:`~repro.fleet.SampledFleet` is accepted there too and stands for
+    its user grid -- pair it with a
+    :class:`~repro.search.QuantileObjective` / :class:`~repro.search.SLOObjective`
+    for fleet-tail serving (those objectives are outside the DP planner
+    boundary, so such requests dispatch to the streaming enumerator).  Fault
+    arguments follow the executor's contract: ``faults``/``timeout`` need
+    ``retry``.
     """
 
     workload: "TaskChain | TaskGraph"
@@ -96,9 +102,15 @@ class PlacementRequest:
                 f"platform must be a Platform or a catalog name, got {self.platform!r}"
             )
         if self.scenario_grid is not None and not isinstance(self.scenario_grid, ScenarioGrid):
-            raise TypeError(
-                f"scenario_grid must be a ScenarioGrid or None, got {self.scenario_grid!r}"
-            )
+            from ..fleet.sample import SampledFleet
+
+            if isinstance(self.scenario_grid, SampledFleet):
+                object.__setattr__(self, "scenario_grid", self.scenario_grid.grid)
+            else:
+                raise TypeError(
+                    f"scenario_grid must be a ScenarioGrid, a SampledFleet or None, "
+                    f"got {self.scenario_grid!r}"
+                )
         if self.method not in METHODS:
             raise ValueError(
                 f"unknown method {self.method!r}; available: {list(METHODS)}"

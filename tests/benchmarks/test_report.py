@@ -86,3 +86,38 @@ class TestMain:
         write(tmp_path, "BENCH_engine.json", json.dumps(payload))
         assert report.main(["report.py", str(tmp_path)]) == 1
         assert "FLOOR VIOLATION" in capsys.readouterr().out
+
+
+THROUGHPUT_PAYLOAD = {
+    "written_at": "2026-01-02T00:00:00Z",
+    "workload": {"n_users": 100000, "n_placements": 16},
+    "seconds": {"end_to_end": 1.5},
+    "throughputs": {"fleet_pairs_per_s": 1_000_000.0},
+    "floors": {"fleet_pairs_per_s": 10_000.0},
+}
+
+
+class TestThroughputRows:
+    def test_throughputs_render_as_per_second_rows(self, tmp_path, capsys):
+        write(tmp_path, "BENCH_fleet.json", json.dumps(THROUGHPUT_PAYLOAD))
+        assert report.main(["report.py", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet_pairs_per_s" in out
+        assert "1,000,000/s" in out
+        assert "10,000/s" in out
+        assert "n_users=100000" in out
+
+    def test_throughput_below_floor_is_a_violation(self, tmp_path, capsys):
+        payload = dict(THROUGHPUT_PAYLOAD, throughputs={"fleet_pairs_per_s": 500.0})
+        write(tmp_path, "BENCH_fleet.json", json.dumps(payload))
+        assert report.main(["report.py", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FLOOR VIOLATION" in out
+        assert "below floor 10,000/s" in out
+
+    def test_throughput_without_floor_is_informational(self, tmp_path):
+        payload = dict(THROUGHPUT_PAYLOAD, floors={})
+        write(tmp_path, "BENCH_fleet.json", json.dumps(payload))
+        rows, violations = report.trajectory_rows(report.load_results(tmp_path))
+        assert violations == []
+        assert any(row[1] == "fleet_pairs_per_s" and row[3] == "-" for row in rows)

@@ -1,0 +1,73 @@
+"""The fleet experiment: fleet-optimal vs per-segment placement divergence."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, FleetConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    return run_experiment(
+        "fleet", FleetConfig(n_users=24, task_sizes=(60, 120, 200), iterations=12)
+    )
+
+
+class TestFleetExperiment:
+    def test_registered(self):
+        assert "fleet" in EXPERIMENTS
+
+    def test_fleet_pick_diverges_from_at_least_one_segment_optimum(self, fleet_result):
+        """The PR's acceptance claim: the fleet's tail-optimal placement is
+        not what every segment would pick for itself."""
+        assert fleet_result.divergent_segments
+        for report in fleet_result.segments:
+            if report.segment in fleet_result.divergent_segments:
+                assert report.own_optimum != fleet_result.quantile_optimum
+                # Its own optimum is optimal for it, so the fleet pick can
+                # only cost the segment time.
+                assert report.fleet_pick_expected_time_s >= report.own_expected_time_s
+
+    def test_segments_cover_the_fleet(self, fleet_result):
+        assert sum(r.n_users for r in fleet_result.segments) == fleet_result.fleet.n_users
+        assert sum(r.mass_share for r in fleet_result.segments) == pytest.approx(1.0)
+        # Spec masses (6:3:1) survive sampling exactly.
+        shares = {r.segment: r.mass_share for r in fleet_result.segments}
+        assert shares["office-wifi"] == pytest.approx(0.6)
+        assert shares["congested-cell"] == pytest.approx(0.3)
+        assert shares["loaded-host"] == pytest.approx(0.1)
+
+    def test_selection_ran_through_the_streaming_search(self, fleet_result):
+        search = fleet_result.search
+        assert search.n_scenarios == fleet_result.fleet.n_users
+        assert search.n_evaluated == search.space_size
+        q_name = f"p{fleet_result.config.q * 100:g}-time"
+        assert search.top[q_name].labels[0] == fleet_result.quantile_optimum
+        assert fleet_result.quantile_value_s > 0.0
+
+    def test_slo_reports_a_miss_fraction(self, fleet_result):
+        assert fleet_result.slo_budget_s > 0.0
+        assert 0.0 <= fleet_result.slo_miss_fraction <= 1.0
+
+    def test_contention_fixed_point_converges_exactly(self, fleet_result):
+        contention = fleet_result.contention
+        assert contention.converged
+        assert contention.n_iterations == 2
+        assert contention.residuals[-1] == 0.0
+        # The whole fleet adopted the quantile pick, loading its devices.
+        assert set(contention.placements) == {tuple(fleet_result.quantile_optimum)}
+        assert np.all(contention.loads >= 1.0)
+        assert np.any(contention.loads > 1.0)
+        assert float(contention.per_user_values.mean()) > 0.0
+
+    def test_report_tells_the_story(self, fleet_result):
+        text = fleet_result.report()
+        assert "fleet optimum by p95" in text
+        assert "diverges" in text
+        assert "contention" in text
+        for report in fleet_result.segments:
+            assert report.segment in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="n_users"):
+            run_experiment("fleet", FleetConfig(n_users=2))

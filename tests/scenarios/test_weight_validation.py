@@ -1,0 +1,76 @@
+"""Regression tests: non-finite scenario weights must be rejected, not waved
+through.
+
+``weight < 0`` compares ``False`` for NaN, so the original validation let
+``Scenario(weight=float("nan"))`` (and NaN entries in
+``ScenarioGrid.cartesian(weights=...)`` / ``ExpectedValueObjective``) slip
+into weighted reductions, turning every robust value into NaN with no error
+pointing at the bad input.  These tests pin the fixed behaviour: non-finite
+and negative weights raise immediately, naming the offending value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import LinkBandwidthScale, LinkLatencyScale, Scenario, ScenarioGrid
+from repro.search import ExpectedValueObjective
+
+
+class TestScenarioWeight:
+    def test_nan_weight_is_rejected(self):
+        with pytest.raises(ValueError, match="weight must be finite"):
+            Scenario(name="s", weight=float("nan"))
+
+    def test_infinite_and_negative_weights_are_rejected(self):
+        for bad in (float("inf"), float("-inf"), -1.0):
+            with pytest.raises(ValueError, match="weight must be finite"):
+                Scenario(name="s", weight=bad)
+
+    def test_zero_weight_remains_legal_mass(self):
+        assert Scenario(name="s", weight=0.0).weight == 0.0
+
+    def test_default_weight_is_one(self):
+        assert Scenario(name="s").weight == 1.0
+
+
+class TestCartesianWeights:
+    AXES = [
+        (LinkBandwidthScale(), [1.0, 0.5]),
+        (LinkLatencyScale(), [1.0, 2.0]),
+    ]
+
+    def test_nan_entry_is_rejected_naming_the_callers_index(self):
+        with pytest.raises(ValueError, match=r"weights\[2\]"):
+            ScenarioGrid.cartesian(self.AXES, weights=[1.0, 1.0, float("nan"), 1.0])
+
+    def test_negative_entry_is_rejected_naming_the_callers_index(self):
+        with pytest.raises(ValueError, match=r"weights\[3\]"):
+            ScenarioGrid.cartesian(self.AXES, weights=[1.0, 1.0, 1.0, -2.0])
+
+    def test_length_mismatch_is_rejected_upfront(self):
+        with pytest.raises(ValueError, match="weights"):
+            ScenarioGrid.cartesian(self.AXES, weights=[1.0, 1.0])
+
+    def test_valid_weights_land_on_the_scenarios(self):
+        grid = ScenarioGrid.cartesian(self.AXES, weights=[4.0, 3.0, 2.0, 1.0])
+        assert np.array_equal(grid.weights, np.array([4.0, 3.0, 2.0, 1.0]))
+
+
+class TestExpectedValueObjectiveWeights:
+    def test_constructor_rejects_non_finite_weights(self):
+        with pytest.raises(ValueError, match=r"weights\[1\]"):
+            ExpectedValueObjective(weights=(1.0, float("nan")))
+
+    def test_with_weights_rejects_non_finite_weights(self):
+        with pytest.raises(ValueError, match=r"weights\[0\]"):
+            ExpectedValueObjective().with_weights((float("inf"), 1.0))
+
+    def test_all_zero_weights_are_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExpectedValueObjective(weights=(0.0, 0.0))
+
+    def test_reduction_no_longer_emits_silent_nan(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        reduced = ExpectedValueObjective(weights=(1.0, 3.0)).reduce(values)
+        assert np.all(np.isfinite(reduced))
+        assert np.array_equal(reduced, np.array([2.5, 3.5]))

@@ -34,7 +34,9 @@ from repro.search import (
     DeadlineConstraint,
     EnergyBudgetConstraint,
     ExpectedValueObjective,
+    QuantileObjective,
     RegretObjective,
+    SLOObjective,
     WorstCaseObjective,
     as_robust_objectives,
     search_grid,
@@ -353,6 +355,31 @@ class TestRobustDecisionModel:
                 grid.tables, np.zeros((1, len(chain)), dtype=np.intp)
             )
             robust.decide_grid(tiny, missing_clustering)
+
+    def test_quantile_and_slo_criteria(self, setup):
+        *_, grid = setup
+        model = DecisionModel()
+        values = np.stack([model.batch_objective(b) for b in grid.batches()], axis=0)
+        quantile = RobustDecisionModel(
+            model=model, criterion="quantile", q=0.75
+        ).decide_grid(grid)
+        assert quantile.objective == float(QuantileObjective(q=0.75).reduce(values).min())
+        budget = float(np.median(values))
+        slo = RobustDecisionModel(
+            model=model, criterion="slo", slo_budget=budget
+        ).decide_grid(grid)
+        assert slo.objective == pytest.approx(
+            float(SLOObjective(budget=budget).reduce(values).min())
+        )
+        assert 0.0 <= slo.objective <= 1.0
+
+    def test_fleet_criteria_validate_their_parameters_early(self):
+        with pytest.raises(ValueError, match="quantile q"):
+            RobustDecisionModel(criterion="quantile", q=1.5)
+        with pytest.raises(ValueError, match="slo_budget"):
+            RobustDecisionModel(criterion="slo")
+        with pytest.raises(ValueError, match="budget"):
+            RobustDecisionModel(criterion="slo", slo_budget=float("inf"))
 
     def test_robust_decision_pickles(self, setup):
         *_, grid = setup

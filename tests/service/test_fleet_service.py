@@ -1,0 +1,124 @@
+"""Serving fleet requests: SampledFleet grids and tail objectives at the API.
+
+A :class:`SampledFleet` must be acceptable wherever a grid is (the request
+unwraps it), and the quantile/SLO objectives -- outside the DP planner
+boundary -- must dispatch to the streaming engine with an honest reason and
+agree bitwise with a direct :func:`search_grid` sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetSpec, UniformAxis, UserSegment, sample_fleet
+from repro.scenarios import LinkBandwidthScale, LinkLatencyScale
+from repro.search import QuantileObjective, SLOObjective, search_grid
+from repro.service import PlacementRequest, PlacementService
+from repro.tasks import RegularizedLeastSquaresTask, TaskChain
+
+
+def serving_chain(n_tasks: int = 3) -> TaskChain:
+    tasks = [
+        RegularizedLeastSquaresTask(
+            size=60 + 60 * i, iterations=8, name=f"L{i + 1}", generate_on_host=False
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskChain(tasks, name="fleet-service-test")
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    spec = FleetSpec(
+        segments=(
+            UserSegment(
+                "wifi", weight=2.0, axes=(UniformAxis(LinkBandwidthScale(), 0.7, 1.2),)
+            ),
+            UserSegment(
+                "cell",
+                weight=1.0,
+                axes=(
+                    UniformAxis(LinkBandwidthScale(), 0.15, 0.4),
+                    UniformAxis(LinkLatencyScale(), 2.0, 5.0),
+                ),
+            ),
+        )
+    )
+    return sample_fleet(spec, 6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return PlacementService()
+
+
+class TestFleetRequests:
+    def test_request_unwraps_a_sampled_fleet_to_its_grid(self, fleet):
+        request = PlacementRequest(
+            workload=serving_chain(), platform="edge-cluster", scenario_grid=fleet
+        )
+        assert request.scenario_grid is fleet.grid
+        assert request.is_grid
+
+    def test_other_grid_types_are_still_rejected(self):
+        with pytest.raises(TypeError, match="SampledFleet"):
+            PlacementRequest(
+                workload=serving_chain(), platform="edge-cluster", scenario_grid=[1, 2]
+            )
+
+    def test_quantile_objective_streams_with_a_reason(self, service, fleet):
+        chain = serving_chain()
+        response = service.submit(
+            PlacementRequest(
+                workload=chain,
+                platform="edge-cluster",
+                scenario_grid=fleet,
+                objective=QuantileObjective(q=0.9),
+            )
+        )
+        assert response.engine == "stream"
+        assert response.dispatch_reason
+        # Bitwise the direct streaming sweep's winner.
+        direct = search_grid(
+            service.executor_for("edge-cluster"),
+            chain,
+            fleet.grid,
+            objectives=(QuantileObjective(q=0.9),),
+            top_k=1,
+        )
+        selection = direct.top["p90-time"]
+        assert "".join(response.placement) == selection.labels[0]
+        assert response.value == float(selection.values[0])
+
+    def test_slo_objective_streams_and_reports_a_miss_fraction(self, service, fleet):
+        response = service.submit(
+            PlacementRequest(
+                workload=serving_chain(),
+                platform="edge-cluster",
+                scenario_grid=fleet,
+                objective=SLOObjective(budget=0.05),
+            )
+        )
+        assert response.engine == "stream"
+        assert 0.0 <= response.value <= 1.0
+
+    def test_repeated_fleet_queries_hit_the_response_cache(self, fleet):
+        service = PlacementService()
+        request = PlacementRequest(
+            workload=serving_chain(),
+            platform="edge-cluster",
+            scenario_grid=fleet,
+            objective=QuantileObjective(q=0.9),
+        )
+        first = service.submit(request)
+        second = service.submit(
+            PlacementRequest(
+                workload=serving_chain(),
+                platform="edge-cluster",
+                scenario_grid=fleet,
+                objective=QuantileObjective(q=0.9),
+            )
+        )
+        assert not first.cache_info.served_from_cache
+        assert second.cache_info.served_from_cache
+        assert (second.placement, second.value) == (first.placement, first.value)
